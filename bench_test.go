@@ -1,0 +1,314 @@
+// Benchmark harness: one benchmark per figure and table of the paper.
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark runs the experiment end to end and reports the paper's
+// headline observable as a custom metric (throughput ratio, utilization,
+// δmax, ...), so a bench run doubles as a reproduction report. ns/op is the
+// cost of regenerating the artifact; the custom metrics are the science.
+// Durations are trimmed relative to the paper's 60-200 s runs to keep a
+// full bench sweep under a few minutes; cmd/figures runs full lengths.
+package starvation_test
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"starvation/internal/cca"
+	"starvation/internal/cca/vegas"
+	"starvation/internal/ccac"
+	"starvation/internal/core"
+	"starvation/internal/scenario"
+	"starvation/internal/units"
+
+	// Populate the CCA registry for ccaByName.
+	_ "starvation/internal/cca/algo1"
+	_ "starvation/internal/cca/bbr"
+	_ "starvation/internal/cca/copa"
+	_ "starvation/internal/cca/fast"
+	_ "starvation/internal/cca/ledbat"
+	_ "starvation/internal/cca/verus"
+	_ "starvation/internal/cca/vivace"
+)
+
+func vegasFactory() cca.Algorithm { return vegas.New(vegas.Config{}) }
+
+func vegasRestartable(conv *core.Convergence) cca.Algorithm {
+	if conv == nil {
+		return vegas.New(vegas.Config{})
+	}
+	v := vegas.New(vegas.Config{BaseRTT: conv.Rm})
+	v.SetCwndPkts(conv.FinalCwndPkts)
+	return v
+}
+
+// BenchmarkFig1Convergence regenerates Figure 1: the ideal-path RTT
+// convergence of a delay-convergent CCA. Metrics: the equilibrium interval
+// and convergence time.
+func BenchmarkFig1Convergence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		conv := core.MeasureConvergence(vegasFactory, units.Mbps(12),
+			100*time.Millisecond, core.MeasureOpts{Duration: 15 * time.Second})
+		b.ReportMetric(conv.DMax.Seconds()*1e3, "dmax_ms")
+		b.ReportMetric(conv.Delta.Seconds()*1e3, "delta_ms")
+		b.ReportMetric(conv.ConvergedAt.Seconds(), "T_s")
+	}
+}
+
+// BenchmarkFig2RateDelayShape regenerates Figure 2's shape with Algorithm 1
+// (the hypothetical CCA with deliberately wide delay bands).
+func BenchmarkFig2RateDelayShape(b *testing.B) {
+	f := core.Factory(func() cca.Algorithm {
+		return ccaByName("algo1")
+	})
+	rates := []units.Rate{units.Mbps(2), units.Mbps(8), units.Mbps(32)}
+	for i := 0; i < b.N; i++ {
+		sw := core.RateDelaySweep("algo1", f, 50*time.Millisecond, rates,
+			core.MeasureOpts{Duration: 12 * time.Second})
+		b.ReportMetric(sw.DeltaMax(rates[0]).Seconds()*1e3, "deltamax_ms")
+	}
+}
+
+// BenchmarkFig3RateDelayVegas..Vivace regenerate the Figure 3 panels: the
+// equilibrium delay band of each CCA across link rates. Metric: δmax and
+// the dmax bound.
+func benchFig3(b *testing.B, name string) {
+	rates := []units.Rate{units.Mbps(2), units.Mbps(12), units.Mbps(48)}
+	for i := 0; i < b.N; i++ {
+		sw := core.RateDelaySweep(name, func() cca.Algorithm { return ccaByName(name) },
+			100*time.Millisecond, rates, core.MeasureOpts{Duration: 12 * time.Second})
+		b.ReportMetric(sw.DeltaMax(rates[0]).Seconds()*1e3, "deltamax_ms")
+		b.ReportMetric(sw.DMaxBound(rates[0]).Seconds()*1e3, "dmaxbound_ms")
+	}
+}
+
+func BenchmarkFig3RateDelayVegas(b *testing.B)  { benchFig3(b, "vegas") }
+func BenchmarkFig3RateDelayFast(b *testing.B)   { benchFig3(b, "fast") }
+func BenchmarkFig3RateDelayCopa(b *testing.B)   { benchFig3(b, "copa") }
+func BenchmarkFig3RateDelayBBR(b *testing.B)    { benchFig3(b, "bbr") }
+func BenchmarkFig3RateDelayVivace(b *testing.B) { benchFig3(b, "vivace") }
+
+// BenchmarkFig4Pigeonhole regenerates Figure 4: the step-1 search for two
+// link rates with colliding delay ranges. Metric: the rate ratio achieved.
+func BenchmarkFig4Pigeonhole(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := core.PigeonholeSearch(vegasFactory, 50*time.Millisecond,
+			8, 0.8, 5*time.Millisecond, units.Mbps(4), 6,
+			core.MeasureOpts{Duration: 12 * time.Second})
+		if !res.Found {
+			b.Fatal("pigeonhole found no pair")
+		}
+		b.ReportMetric(float64(res.C2)/float64(res.C1), "C2/C1")
+	}
+}
+
+// BenchmarkFig5EmulationTrajectories regenerates Figures 5/6 and the
+// Theorem 1 headline: the two-flow delay-trajectory emulation. Metric: the
+// starvation ratio and the adversary's clamp error.
+func BenchmarkFig5EmulationTrajectories(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := core.EmulateTwoFlow(core.EmulationSpec{
+			Make:     vegasRestartable,
+			Rm:       50 * time.Millisecond,
+			C1:       units.Mbps(12),
+			C2:       units.Mbps(384),
+			D:        20 * time.Millisecond,
+			Measure:  core.MeasureOpts{Duration: 15 * time.Second},
+			Duration: 15 * time.Second,
+		})
+		b.ReportMetric(res.Ratio, "ratio")
+		b.ReportMetric(res.TwoFlow.Utilization(), "utilization")
+		b.ReportMetric(res.Shaper2.MaxNegative.Seconds()*1e3, "clamp_ms")
+	}
+}
+
+// BenchmarkTheorem1Construction is the same construction driven through
+// the pigeonhole search end to end (X-T1).
+func BenchmarkTheorem1Construction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ph := core.PigeonholeSearch(vegasFactory, 50*time.Millisecond,
+			8, 0.8, 5*time.Millisecond, units.Mbps(4), 6,
+			core.MeasureOpts{Duration: 10 * time.Second})
+		if !ph.Found {
+			b.Fatal("no pair")
+		}
+		res := core.EmulateTwoFlow(core.EmulationSpec{
+			Make: vegasRestartable, Rm: 50 * time.Millisecond,
+			C1: ph.C1, C2: ph.C2, D: 20 * time.Millisecond,
+			Measure:  core.MeasureOpts{Duration: 10 * time.Second},
+			Duration: 10 * time.Second,
+		})
+		b.ReportMetric(res.Ratio, "ratio")
+	}
+}
+
+// BenchmarkTheorem2Underutilization regenerates the Theorem 2 construction
+// (X-T2). Metric: achieved utilization on the inflated link (→ C/C').
+func BenchmarkTheorem2Underutilization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := core.UnderutilizationConstruction(core.UnderutilizationSpec{
+			Make: vegasRestartable, Rm: 50 * time.Millisecond,
+			C: units.Mbps(12), Multiplier: 50,
+			Measure:  core.MeasureOpts{Duration: 10 * time.Second},
+			Duration: 10 * time.Second,
+		})
+		b.ReportMetric(res.Utilization, "utilization")
+	}
+}
+
+// BenchmarkFig7RenoCubicDelayedAck regenerates Figure 7. Metrics: the
+// bounded throughput ratios (paper: 2.7× Reno, 3.2× Cubic).
+func BenchmarkFig7RenoCubicDelayedAck(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reno := scenario.Fig7Reno(scenario.Opts{Duration: 60 * time.Second})
+		cubic := scenario.Fig7Cubic(scenario.Opts{Duration: 60 * time.Second})
+		b.ReportMetric(reno.Observables["ratio"], "reno_ratio")
+		b.ReportMetric(cubic.Observables["ratio"], "cubic_ratio")
+	}
+}
+
+// BenchmarkTable51CopaSingle regenerates §5.1's single-flow poisoning
+// (paper: 8 of 120 Mbit/s).
+func BenchmarkTable51CopaSingle(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := scenario.CopaSingleFlowPoison(scenario.Opts{Duration: 30 * time.Second})
+		b.ReportMetric(res.Observables["throughput_mbps"], "mbps")
+		b.ReportMetric(res.Observables["utilization"], "utilization")
+	}
+}
+
+// BenchmarkTable51CopaTwoFlow regenerates §5.1's two-flow variant
+// (paper: 8.8 vs 95 Mbit/s).
+func BenchmarkTable51CopaTwoFlow(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := scenario.CopaTwoFlowPoison(scenario.Opts{Duration: 30 * time.Second})
+		b.ReportMetric(res.Observables["ratio"], "ratio")
+		b.ReportMetric(res.Observables["poisoned_mbps"], "poisoned_mbps")
+	}
+}
+
+// BenchmarkTable52BBRStarvation regenerates §5.2 (paper: 8.3 vs 107).
+func BenchmarkTable52BBRStarvation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := scenario.BBRTwoFlowRTT(scenario.Opts{Duration: 30 * time.Second})
+		b.ReportMetric(res.Observables["ratio"], "ratio")
+		b.ReportMetric(res.Observables["rtt40_mbps"], "starved_mbps")
+	}
+}
+
+// BenchmarkTable53VivaceStarvation regenerates §5.3 (paper: 9.9 vs 99.4).
+func BenchmarkTable53VivaceStarvation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := scenario.VivaceAckAggregation(scenario.Opts{Duration: 30 * time.Second})
+		b.ReportMetric(res.Observables["ratio"], "ratio")
+		b.ReportMetric(res.Observables["quantized_mbps"], "starved_mbps")
+	}
+}
+
+// BenchmarkTable54AllegroStarvation regenerates §5.4's headline
+// (paper: 10.3 vs 99.1).
+func BenchmarkTable54AllegroStarvation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := scenario.AllegroRandomLoss(scenario.Opts{Duration: 30 * time.Second})
+		b.ReportMetric(res.Observables["ratio"], "ratio")
+		b.ReportMetric(res.Observables["lossy_mbps"], "starved_mbps")
+	}
+}
+
+// BenchmarkTable54AllegroControls regenerates §5.4's control rows: both
+// flows lossy (fair) and a single lossy flow (full utilization).
+func BenchmarkTable54AllegroControls(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		both := scenario.AllegroBothLossy(scenario.Opts{Duration: 30 * time.Second})
+		single := scenario.AllegroSingleLossy(scenario.Opts{Duration: 30 * time.Second})
+		b.ReportMetric(both.Observables["jain"], "both_jain")
+		b.ReportMetric(single.Observables["utilization"], "single_utilization")
+	}
+}
+
+// BenchmarkTable63FigureOfMerit evaluates the closed-form §6.3 table.
+func BenchmarkTable63FigureOfMerit(b *testing.B) {
+	rm := time.Duration(0)
+	rmax := 100 * time.Millisecond
+	d := 10 * time.Millisecond
+	var veg, exp float64
+	for i := 0; i < b.N; i++ {
+		veg = core.VegasFigureOfMerit(rmax, rm, d, 2)
+		exp = core.ExponentialFigureOfMerit(rmax, rm, d, 2)
+	}
+	b.ReportMetric(veg, "vegas_range")
+	b.ReportMetric(exp, "exp_range")
+}
+
+// BenchmarkAlgo1Fairness runs the X-A1 demonstration: Algorithm 1 stays
+// s-fair under the jitter that starves Vegas.
+func BenchmarkAlgo1Fairness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fair := scenario.Algo1Fairness(scenario.Opts{Duration: 40 * time.Second})
+		veg := scenario.VegasUnderJitter(scenario.Opts{Duration: 40 * time.Second})
+		b.ReportMetric(fair.Observables["ratio"], "algo1_ratio")
+		b.ReportMetric(veg.Observables["ratio"], "vegas_ratio")
+	}
+}
+
+// BenchmarkCCACBoundedSearch runs the Appendix C analogue. Metrics: the
+// worst bounded ratio without injection and the growing one with it.
+func BenchmarkCCACBoundedSearch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		clean := ccac.Search(ccac.Params{CPkts: 20, BufferPkts: 20, Depth: 10})
+		inj := ccac.Search(ccac.Params{CPkts: 20, BufferPkts: 20, Depth: 10, InjectLoss: true})
+		b.ReportMetric(clean.MaxRatio, "overflow_only_ratio")
+		b.ReportMetric(inj.MaxRatio, "injected_ratio")
+	}
+}
+
+// ccaByName instantiates a registered CCA with a deterministic seed.
+func ccaByName(name string) cca.Algorithm {
+	f := cca.Lookup(name)
+	if f == nil {
+		panic("unknown CCA " + name)
+	}
+	return f(1500, rand.New(rand.NewSource(7)))
+}
+
+// BenchmarkAlgo1Ablation runs the §6.3 design ablation: the published
+// AIMD/per-Rm update against the CCAC-rejected AIAD and per-ACK variants.
+func BenchmarkAlgo1Ablation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := scenario.Algo1Ablation(scenario.Opts{Duration: 40 * time.Second})
+		b.ReportMetric(res.Observables["aimd_ratio"], "aimd_ratio")
+		b.ReportMetric(res.Observables["aiad_ratio"], "aiad_ratio")
+		b.ReportMetric(res.Observables["perack_ratio"], "perack_ratio")
+	}
+}
+
+// BenchmarkECNAvoidsStarvation runs the §6.4 demonstration: ECN-reacting
+// loss-blind AIMD vs loss-reacting AIMD under asymmetric injected loss.
+func BenchmarkECNAvoidsStarvation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := scenario.ECNAvoidsStarvation(scenario.Opts{Duration: 30 * time.Second})
+		b.ReportMetric(res.Observables["ecn_ratio"], "ecn_ratio")
+		b.ReportMetric(res.Observables["loss_ratio"], "loss_ratio")
+	}
+}
+
+// BenchmarkTheorem3StrongModel runs the Appendix B construction: the
+// delay-lowering trace sequence that forces a factor-s throughput gap.
+func BenchmarkTheorem3StrongModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := core.StrongModelConstruction(core.StrongModelSpec{
+			Make:     vegasRestartable,
+			Rm:       50 * time.Millisecond,
+			Lambda:   units.Mbps(4),
+			D:        5 * time.Millisecond,
+			S:        2,
+			Duration: 15 * time.Second,
+		})
+		if !res.FoundPair {
+			b.Fatal("no pair found")
+		}
+		b.ReportMetric(res.Ratio, "pair_ratio")
+		b.ReportMetric(float64(res.PairIndex), "pair_step")
+	}
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"math/rand"
+
+	"starvation/internal/cca"
+	"starvation/internal/cca/vegas"
+	"starvation/internal/core"
+
+	// Register every algorithm with the cca registry.
+	_ "starvation/internal/cca/algo1"
+	_ "starvation/internal/cca/allegro"
+	_ "starvation/internal/cca/bbr"
+	_ "starvation/internal/cca/constwnd"
+	_ "starvation/internal/cca/copa"
+	_ "starvation/internal/cca/cubic"
+	_ "starvation/internal/cca/fast"
+	_ "starvation/internal/cca/ledbat"
+	_ "starvation/internal/cca/reno"
+	_ "starvation/internal/cca/verus"
+	_ "starvation/internal/cca/vivace"
+)
+
+// ccaFactory adapts the registry to core.Factory with a fixed seed per
+// instantiation, so every measurement run is reproducible.
+func ccaFactory(name string) core.Factory {
+	f := cca.Lookup(name)
+	if f == nil {
+		panic("unknown CCA " + name)
+	}
+	return func() cca.Algorithm {
+		return f(1500, rand.New(rand.NewSource(7)))
+	}
+}
+
+// vegasRestartable builds Vegas flows for the Theorem 1/2 constructions:
+// fresh for probe runs, restarted at the converged state (window plus the
+// learned baseRTT) otherwise.
+func vegasRestartable(conv *core.Convergence) cca.Algorithm {
+	if conv == nil {
+		return vegas.New(vegas.Config{})
+	}
+	v := vegas.New(vegas.Config{BaseRTT: conv.Rm})
+	v.SetCwndPkts(conv.FinalCwndPkts)
+	return v
+}

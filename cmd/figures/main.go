@@ -1,0 +1,322 @@
+// Command figures regenerates every figure and table of the paper into an
+// output directory: CSV data, ASCII previews, and a markdown summary with
+// paper-vs-measured rows (the source material for EXPERIMENTS.md).
+//
+// Usage:
+//
+//	figures [-out results] [-quick] [-only F3,T5.2]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"starvation/internal/ccac"
+	"starvation/internal/core"
+	"starvation/internal/scenario"
+	"starvation/internal/trace"
+	"starvation/internal/units"
+)
+
+var (
+	outDir = flag.String("out", "results", "output directory")
+	quick  = flag.Bool("quick", false, "shorter runs (coarser data)")
+	only   = flag.String("only", "", "comma-separated experiment IDs to run")
+)
+
+type reporter struct {
+	summary strings.Builder
+	filter  map[string]bool
+}
+
+func (r *reporter) wants(id string) bool {
+	if len(r.filter) == 0 {
+		return true
+	}
+	return r.filter[id]
+}
+
+func (r *reporter) section(id, title string) {
+	fmt.Fprintf(&r.summary, "\n## %s — %s\n\n", id, title)
+	fmt.Printf("=== %s — %s\n", id, title)
+}
+
+func (r *reporter) row(format string, args ...any) {
+	line := fmt.Sprintf(format, args...)
+	fmt.Fprintf(&r.summary, "%s\n", line)
+	fmt.Println(line)
+}
+
+func (r *reporter) save(name string, write func(f *os.File) error) {
+	path := filepath.Join(*outDir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := write(f); err != nil {
+		fmt.Fprintf(os.Stderr, "figures: writing %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	r.row("- data: `%s`", path)
+}
+
+func main() {
+	flag.Parse()
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	r := &reporter{}
+	if *only != "" {
+		r.filter = map[string]bool{}
+		for _, id := range strings.Split(*only, ",") {
+			r.filter[strings.TrimSpace(id)] = true
+		}
+	}
+	fmt.Fprintf(&r.summary, "# Regenerated figures and tables\n\ngenerated %s, quick=%v\n",
+		time.Now().Format(time.RFC3339), *quick)
+
+	if r.wants("F1") {
+		fig1(r)
+	}
+	if r.wants("F3") {
+		fig3(r)
+	}
+	if r.wants("F4") {
+		fig4(r)
+	}
+	if r.wants("F5") {
+		fig5(r)
+	}
+	if r.wants("F7") {
+		fig7(r)
+	}
+	if r.wants("T5") {
+		tables5(r)
+	}
+	if r.wants("T6.3") {
+		table63(r)
+	}
+	if r.wants("X-A1-ablation") {
+		ablation(r)
+	}
+	if r.wants("X-ECN") {
+		ecnSection(r)
+	}
+	if r.wants("X-T2") {
+		theorem2(r)
+	}
+	if r.wants("X-T3") {
+		theorem3(r)
+	}
+	if r.wants("X-CCAC") {
+		appendixC(r)
+	}
+
+	sumPath := filepath.Join(*outDir, "summary.md")
+	if err := os.WriteFile(sumPath, []byte(r.summary.String()), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nsummary written to %s\n", sumPath)
+}
+
+func dur(long, short time.Duration) time.Duration {
+	if *quick {
+		return short
+	}
+	return long
+}
+
+// fig1 regenerates Figure 1: ideal-path RTT convergence of a
+// delay-convergent CCA (Vegas as the concrete instance).
+func fig1(r *reporter) {
+	r.section("F1", "ideal-path RTT convergence (Vegas, 12 Mbit/s, Rm=100ms)")
+	conv := core.MeasureConvergence(ccaFactory("vegas"), units.Mbps(12),
+		100*time.Millisecond, core.MeasureOpts{Duration: dur(30*time.Second, 10*time.Second)})
+	r.row("- converged at T=%v to [dmin=%v, dmax=%v], δ=%v",
+		conv.ConvergedAt.Round(time.Millisecond),
+		conv.DMin.Round(10*time.Microsecond), conv.DMax.Round(10*time.Microsecond),
+		conv.Delta.Round(10*time.Microsecond))
+	r.save("fig1_rtt.csv", func(f *os.File) error { return conv.RTT.WriteCSV(f) })
+	fmt.Println(trace.ASCIIPlot(conv.RTT, 72, 12, "RTT (s)"))
+}
+
+// fig3 regenerates Figure 3: the rate-delay graphs of the delay-bounding
+// CCAs.
+func fig3(r *reporter) {
+	r.section("F3", "rate-delay graphs (Rm=100ms)")
+	n := 7
+	lo, hi := units.Mbps(0.4), units.Mbps(100)
+	if *quick {
+		n = 4
+		lo = units.Mbps(1.5)
+	}
+	rates := core.LogSpace(lo, hi, n)
+	for _, name := range []string{"vegas", "fast", "copa", "ledbat", "verus", "bbr", "vivace", "algo1"} {
+		sw := core.RateDelaySweep(name, ccaFactory(name), 100*time.Millisecond, rates,
+			core.MeasureOpts{Duration: dur(30*time.Second, 12*time.Second)})
+		r.save("fig3_"+name+".csv", func(f *os.File) error { return sw.WriteCSV(f) })
+		r.row("- %s: δmax=%v, dmax-bound=%v over C>%v", name,
+			sw.DeltaMax(lo).Round(10*time.Microsecond),
+			sw.DMaxBound(lo).Round(10*time.Microsecond), lo)
+		fmt.Println(sw)
+	}
+}
+
+// fig4 regenerates Figure 4: the pigeonhole search for a colliding pair of
+// link rates.
+func fig4(r *reporter) {
+	r.section("F4", "pigeonhole search (Vegas, s=8, f=0.8, Rm=50ms)")
+	res := core.PigeonholeSearch(ccaFactory("vegas"), 50*time.Millisecond,
+		8, 0.8, 5*time.Millisecond, units.Mbps(4), 6,
+		core.MeasureOpts{Duration: dur(25*time.Second, 10*time.Second)})
+	r.row("- %s", res)
+}
+
+// fig5 regenerates Figures 5/6: the Theorem 1 trajectory emulation.
+func fig5(r *reporter) {
+	r.section("F5/F6", "Theorem 1 construction (Vegas, C1=12, C2=384 Mbit/s)")
+	res := core.EmulateTwoFlow(core.EmulationSpec{
+		Make:     vegasRestartable,
+		Rm:       50 * time.Millisecond,
+		C1:       units.Mbps(12),
+		C2:       units.Mbps(384),
+		D:        20 * time.Millisecond,
+		Measure:  core.MeasureOpts{Duration: dur(30*time.Second, 12*time.Second)},
+		Duration: dur(30*time.Second, 12*time.Second),
+	})
+	r.row("- preconditions hold: %v (δmax=%v, ε=%v, gap=%v)",
+		res.PreconditionsHold, res.DeltaMax.Round(time.Microsecond),
+		res.Epsilon.Round(time.Microsecond), res.DelayGap.Round(time.Microsecond))
+	r.row("- starvation ratio %.1f (thpts %v vs %v)", res.Ratio,
+		res.TwoFlow.Flows[0].Stat.SteadyThpt, res.TwoFlow.Flows[1].Stat.SteadyThpt)
+	r.save("fig5_trajectories.csv", func(f *os.File) error {
+		end := res.TwoFlow.Duration
+		return trace.WriteMultiCSV(f, 0, end, 100*time.Millisecond,
+			res.Target1, res.Target2,
+			res.TwoFlow.Flows[0].RTT, res.TwoFlow.Flows[1].RTT,
+			res.TwoFlow.Flows[0].Rate, res.TwoFlow.Flows[1].Rate)
+	})
+}
+
+// fig7 regenerates Figure 7: Reno/Cubic cwnd evolution under delayed-ACK
+// burstiness.
+func fig7(r *reporter) {
+	r.section("F7", "Reno/Cubic cwnd evolution, delayed ACKs ×4 on one flow")
+	for _, fn := range []func(scenario.Opts) *scenario.Result{scenario.Fig7Reno, scenario.Fig7Cubic} {
+		res := fn(scenario.Opts{Duration: dur(200*time.Second, 60*time.Second)})
+		r.row("- %s: ratio %.2f (paper %s)", res.ID, res.Observables["ratio"], res.PaperClaim)
+		id := strings.ReplaceAll(res.ID, ".", "_")
+		r.save(id+"_cwnd.csv", func(f *os.File) error {
+			end := res.Net.Duration
+			return trace.WriteMultiCSV(f, 0, end, 500*time.Millisecond,
+				res.Net.Flows[0].Cwnd, res.Net.Flows[1].Cwnd)
+		})
+		fmt.Println(trace.ASCIIPlot(res.Net.Flows[0].Cwnd, 72, 10, res.ID+" delacked cwnd (B)"))
+	}
+}
+
+// tables5 runs every §5 experiment.
+func tables5(r *reporter) {
+	r.section("T5", "§5 starvation experiments")
+	for _, name := range []string{"copa-single", "copa-two", "bbr-two",
+		"vivace-ackagg", "allegro-loss", "allegro-both", "allegro-single"} {
+		res := scenario.Registry[name](scenario.Opts{Duration: dur(0, 30*time.Second)})
+		r.row("### %s", res.ID)
+		r.row("```\n%s```", res)
+	}
+}
+
+// table63 regenerates the §6.3 figure-of-merit comparison and the
+// Algorithm 1 fairness demonstration.
+func table63(r *reporter) {
+	r.section("T6.3", "figure-of-merit μ+/μ− and Algorithm 1 fairness")
+	rm := time.Duration(0)
+	rmax := 100 * time.Millisecond
+	for _, d := range []time.Duration{5 * time.Millisecond, 10 * time.Millisecond, 20 * time.Millisecond} {
+		for _, s := range []float64{2, 4} {
+			r.row("- D=%v s=%v: Vegas family %.1f vs exponential %.3g",
+				d, s, core.VegasFigureOfMerit(rmax, rm, d, s),
+				core.ExponentialFigureOfMerit(rmax, rm, d, s))
+		}
+	}
+	res := scenario.Algo1Fairness(scenario.Opts{Duration: dur(120*time.Second, 40*time.Second)})
+	r.row("- Algorithm 1 under jitter: ratio %.2f (bound s=%.0f), utilization %.3f",
+		res.Observables["ratio"], res.Observables["s_bound"], res.Observables["utilization"])
+	veg := scenario.VegasUnderJitter(scenario.Opts{Duration: dur(120*time.Second, 40*time.Second)})
+	r.row("- Vegas in the same setting: ratio %.1f (starves)", veg.Observables["ratio"])
+}
+
+// ablation runs the §6.3 design-choice ablation for Algorithm 1.
+func ablation(r *reporter) {
+	r.section("X-A1-ablation", "Algorithm 1 design ablation (AIMD/per-Rm vs rejected variants)")
+	res := scenario.Algo1Ablation(scenario.Opts{Duration: dur(120*time.Second, 40*time.Second)})
+	r.row("- AIMD per-Rm (published): ratio %.2f, utilization %.3f",
+		res.Observables["aimd_ratio"], res.Observables["aimd_utilization"])
+	r.row("- AIAD variant (rejected): ratio %.2f, utilization %.3f",
+		res.Observables["aiad_ratio"], res.Observables["aiad_utilization"])
+	r.row("- per-ACK variant (rejected): ratio %.2f, utilization %.3f",
+		res.Observables["perack_ratio"], res.Observables["perack_utilization"])
+}
+
+// ecnSection runs the §6.4 ECN demonstration.
+func ecnSection(r *reporter) {
+	r.section("X-ECN", "§6.4: explicit signaling avoids starvation")
+	res := scenario.ECNAvoidsStarvation(scenario.Opts{Duration: dur(60*time.Second, 30*time.Second)})
+	r.row("- ECN-reacting loss-blind AIMD: ratio %.2f, jain %.3f, utilization %.3f",
+		res.Observables["ecn_ratio"], res.Observables["ecn_jain"], res.Observables["ecn_utilization"])
+	r.row("- loss-reacting AIMD (control): ratio %.2f, jain %.3f",
+		res.Observables["loss_ratio"], res.Observables["loss_jain"])
+}
+
+// theorem2 regenerates the under-utilization construction.
+func theorem2(r *reporter) {
+	r.section("X-T2", "Theorem 2: arbitrary under-utilization")
+	res := core.UnderutilizationConstruction(core.UnderutilizationSpec{
+		Make:       vegasRestartable,
+		Rm:         50 * time.Millisecond,
+		C:          units.Mbps(12),
+		Multiplier: 50,
+		Measure:    core.MeasureOpts{Duration: dur(20*time.Second, 10*time.Second)},
+		Duration:   dur(20*time.Second, 10*time.Second),
+	})
+	r.row("- emulated C=%v on C'=%v with D=%v: utilization %.4f",
+		res.Conv.C, res.BigLink, res.D.Round(time.Millisecond), res.Utilization)
+}
+
+// theorem3 regenerates the Appendix B strong-model construction.
+func theorem3(r *reporter) {
+	r.section("X-T3", "Theorem 3: strong-model starvation (Appendix B)")
+	res := core.StrongModelConstruction(core.StrongModelSpec{
+		Make:     vegasRestartable,
+		Rm:       50 * time.Millisecond,
+		Lambda:   units.Mbps(4),
+		D:        5 * time.Millisecond,
+		S:        2,
+		Duration: dur(20*time.Second, 10*time.Second),
+	})
+	for _, st := range res.Steps {
+		r.row("- step %d: maxDelay=%v, throughput=%v", st.Index,
+			st.MaxDelay.Round(time.Millisecond), st.Throughput)
+	}
+	if res.FoundPair {
+		r.row("- consecutive pair at step %d with ratio %.2f >= s", res.PairIndex, res.Ratio)
+	}
+}
+
+// appendixC runs the bounded adversary search.
+func appendixC(r *reporter) {
+	r.section("X-CCAC", "Appendix C: bounded multi-flow adversary search")
+	clean := ccac.Search(ccac.Params{CPkts: 20, BufferPkts: 20, Depth: 10})
+	inj := ccac.Search(ccac.Params{CPkts: 20, BufferPkts: 20, Depth: 10, InjectLoss: true})
+	r.row("- overflow-only worst ratio %.2f over %d nodes (bounded)",
+		clean.MaxRatio, clean.StatesExplored)
+	r.row("- with injected loss: worst ratio %.2f (starvation enabled)", inj.MaxRatio)
+}

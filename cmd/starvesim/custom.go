@@ -1,0 +1,152 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"time"
+
+	"starvation/internal/cca"
+	"starvation/internal/endpoint"
+	"starvation/internal/netem/jitter"
+	"starvation/internal/network"
+	"starvation/internal/units"
+
+	// Register every algorithm.
+	_ "starvation/internal/cca/algo1"
+	_ "starvation/internal/cca/allegro"
+	_ "starvation/internal/cca/bbr"
+	_ "starvation/internal/cca/constwnd"
+	_ "starvation/internal/cca/copa"
+	_ "starvation/internal/cca/cubic"
+	_ "starvation/internal/cca/fast"
+	_ "starvation/internal/cca/ledbat"
+	_ "starvation/internal/cca/reno"
+	_ "starvation/internal/cca/vegas"
+	_ "starvation/internal/cca/verus"
+	_ "starvation/internal/cca/vivace"
+)
+
+// customFlags describe the freeform experiment builder: any registered CCA
+// pair, a bottleneck, per-flow jitter, loss, and ACK policies.
+type customFlags struct {
+	cca1, cca2   string
+	rateMbps     float64
+	bufferPkts   int
+	rm1, rm2     time.Duration
+	jitterSpec   string // applied to flow 1: kind:value, e.g. "uniform:5ms"
+	loss1        float64
+	ackAggregate time.Duration // flow 1 ACK aggregation period
+	duration     time.Duration
+	seed         int64
+}
+
+// runCustom assembles and runs the freeform scenario.
+func runCustom(f customFlags) error {
+	if f.cca1 == "" {
+		return fmt.Errorf("custom mode needs -cca")
+	}
+	mk := func(name string, seed int64) (cca.Algorithm, error) {
+		fac := cca.Lookup(name)
+		if fac == nil {
+			return nil, fmt.Errorf("unknown CCA %q (known: %s)",
+				name, strings.Join(cca.Names(), ", "))
+		}
+		return fac(endpoint.DefaultMSS, rand.New(rand.NewSource(seed))), nil
+	}
+
+	alg1, err := mk(f.cca1, f.seed*11+1)
+	if err != nil {
+		return err
+	}
+	spec1 := network.FlowSpec{Name: f.cca1 + "-0", Alg: alg1, Rm: f.rm1, LossProb: f.loss1}
+	if f.jitterSpec != "" {
+		pol, err := parseJitter(f.jitterSpec, f.seed)
+		if err != nil {
+			return err
+		}
+		spec1.FwdJitter = pol
+	}
+	if f.ackAggregate > 0 {
+		spec1.Ack = endpoint.AckConfig{AggregatePeriod: f.ackAggregate}
+	}
+
+	specs := []network.FlowSpec{spec1}
+	if f.cca2 != "" {
+		alg2, err := mk(f.cca2, f.seed*11+2)
+		if err != nil {
+			return err
+		}
+		specs = append(specs, network.FlowSpec{Name: f.cca2 + "-1", Alg: alg2, Rm: f.rm2})
+	}
+
+	cfg := network.Config{
+		Rate:        units.Mbps(f.rateMbps),
+		BufferBytes: f.bufferPkts * endpoint.DefaultMSS,
+		Seed:        f.seed,
+	}
+	res := network.New(cfg, specs...).Run(f.duration)
+	fmt.Println(res)
+	return nil
+}
+
+// parseJitter turns "kind:value" into a jitter policy. Kinds: const,
+// uniform, aggregate (period), spike (period/len), burst (Gilbert-Elliott
+// bad-state delay).
+func parseJitter(spec string, seed int64) (jitter.Policy, error) {
+	kind, valStr, ok := strings.Cut(spec, ":")
+	if !ok {
+		return nil, fmt.Errorf("jitter spec %q: want kind:value (e.g. uniform:5ms)", spec)
+	}
+	rng := rand.New(rand.NewSource(seed*101 + 3))
+	switch kind {
+	case "const":
+		d, err := time.ParseDuration(valStr)
+		if err != nil {
+			return nil, err
+		}
+		return jitter.Constant{D: d}, nil
+	case "uniform":
+		d, err := time.ParseDuration(valStr)
+		if err != nil {
+			return nil, err
+		}
+		return &jitter.Uniform{Max: d, Rng: rng}, nil
+	case "aggregate":
+		d, err := time.ParseDuration(valStr)
+		if err != nil {
+			return nil, err
+		}
+		return jitter.PeriodicAggregation{Period: d}, nil
+	case "spike":
+		lenStr, perStr, ok := strings.Cut(valStr, "/")
+		if !ok {
+			return nil, fmt.Errorf("spike spec: want spike:<len>/<period>")
+		}
+		l, err := time.ParseDuration(lenStr)
+		if err != nil {
+			return nil, err
+		}
+		p, err := time.ParseDuration(perStr)
+		if err != nil {
+			return nil, err
+		}
+		return jitter.PeriodicSpike{Period: p, SpikeLen: l}, nil
+	case "burst":
+		d, err := time.ParseDuration(valStr)
+		if err != nil {
+			return nil, err
+		}
+		return &jitter.GilbertElliott{
+			PGoodToBad: 0.02, PBadToGood: 0.2, BadDelay: d, Rng: rng,
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown jitter kind %q (const, uniform, aggregate, spike, burst)", kind)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,96 @@
+// Command starvesim runs the paper's experiments from the command line.
+//
+// Usage:
+//
+//	starvesim -list
+//	starvesim -scenario bbr-two [-seed 2] [-duration 60s]
+//	starvesim -scenario all
+//
+// Each scenario prints the paper's claimed numbers next to the measured
+// ones. Exit status is 0 unless the scenario name is unknown.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"starvation/internal/scenario"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list available scenarios")
+		name     = flag.String("scenario", "", "scenario to run (or \"all\")")
+		seed     = flag.Int64("seed", 0, "RNG seed (0 = reference realization)")
+		duration = flag.Duration("duration", 0, "override run duration")
+
+		// Freeform mode: -cca selects it; everything else is optional.
+		cca1   = flag.String("cca", "", "freeform mode: CCA for flow 0 (e.g. vegas, bbr)")
+		cca2   = flag.String("cca2", "", "freeform mode: CCA for flow 1 (empty = single flow)")
+		rate   = flag.Float64("rate", 48, "freeform mode: bottleneck Mbit/s")
+		buffer = flag.Int("buffer", 0, "freeform mode: buffer in packets (0 = infinite)")
+		rm1    = flag.Duration("rm", 50*time.Millisecond, "freeform mode: flow 0 propagation RTT")
+		rm2    = flag.Duration("rm2", 50*time.Millisecond, "freeform mode: flow 1 propagation RTT")
+		jspec  = flag.String("jitter", "", "freeform mode: flow 0 jitter, kind:value (const|uniform|aggregate|burst:5ms, spike:10ms/100ms)")
+		loss1  = flag.Float64("loss", 0, "freeform mode: flow 0 random loss probability")
+		ackPer = flag.Duration("ackagg", 0, "freeform mode: flow 0 ACK aggregation period")
+	)
+	flag.Parse()
+
+	if *cca1 != "" {
+		d := *duration
+		if d <= 0 {
+			d = 60 * time.Second
+		}
+		s := *seed
+		if s == 0 {
+			s = 2
+		}
+		err := runCustom(customFlags{
+			cca1: *cca1, cca2: *cca2,
+			rateMbps: *rate, bufferPkts: *buffer,
+			rm1: *rm1, rm2: *rm2,
+			jitterSpec: *jspec, loss1: *loss1, ackAggregate: *ackPer,
+			duration: d, seed: s,
+		})
+		if err != nil {
+			fatalf("starvesim: %v", err)
+		}
+		return
+	}
+
+	if *list || *name == "" {
+		fmt.Println("available scenarios:")
+		for _, n := range scenario.Names() {
+			fmt.Printf("  %s\n", n)
+		}
+		if *name == "" && !*list {
+			fmt.Println("\nrun with -scenario <name> or -scenario all")
+		}
+		return
+	}
+
+	opts := scenario.Opts{Seed: *seed, Duration: *duration}
+	if *name == "all" {
+		for _, n := range scenario.Names() {
+			run(n, opts)
+		}
+		return
+	}
+	fn, ok := scenario.Registry[*name]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown scenario %q; use -list\n", *name)
+		os.Exit(1)
+	}
+	_ = fn
+	run(*name, opts)
+}
+
+func run(name string, opts scenario.Opts) {
+	fn := scenario.Registry[name]
+	start := time.Now()
+	res := fn(opts)
+	fmt.Printf("%s(took %v)\n\n", res, time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,16 @@
+// Package starvation reproduces "Starvation in End-to-End Congestion
+// Control" (Arun, Alizadeh, Balakrishnan — SIGCOMM 2022) as a Go library:
+// a deterministic packet-level link emulator, the delay-bounding congestion
+// control algorithms the paper studies (Vegas, FAST, Copa, BBR, PCC Vivace,
+// PCC Allegro) and the loss-based baselines (Reno, Cubic), the bounded
+// non-congestive delay network model of §3, the constructive machinery of
+// Theorems 1 and 2, the §6.3 starvation-resistant Algorithm 1, and a
+// benchmark harness that regenerates every figure and table.
+//
+// Start with DESIGN.md for the system inventory, EXPERIMENTS.md for
+// paper-vs-measured results, and examples/quickstart for code.
+//
+// The root package holds only the benchmark harness (bench_test.go); the
+// implementation lives under internal/ and the runnable tools under cmd/
+// and examples/.
+package starvation

@@ -1,0 +1,29 @@
+// Starvation: the paper's §5 experiments back to back — Copa poisoned by a
+// single 59 ms RTT sample, BBR with unequal propagation delays, PCC Vivace
+// under ACK quantization, and PCC Allegro with asymmetric random loss.
+//
+//	go run ./examples/starvation
+//
+// Each case prints the paper's measured numbers next to this emulator's.
+// Absolute rates differ from the authors' Mahimahi testbed; the shape —
+// which flow starves and by roughly what factor — is the reproduction.
+package main
+
+import (
+	"fmt"
+
+	"starvation/internal/scenario"
+)
+
+func main() {
+	for _, name := range []string{"copa-single", "copa-two", "bbr-two", "vivace-ackagg", "allegro-loss"} {
+		res := scenario.Registry[name](scenario.Opts{})
+		fmt.Println(res)
+	}
+
+	fmt.Println(`All four delay-bounding CCAs starve under per-flow signal asymmetries far
+smaller than anything a user would call an outage: a 1 ms measurement
+error, a doubled propagation delay, 60 ms ACK batching, 2% random loss.
+Theorem 1 says this is not four coincidences — any f-efficient CCA that
+converges to a delay range δmax < D/2 has such a failure mode.`)
+}

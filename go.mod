@@ -1,0 +1,3 @@
+module starvation
+
+go 1.22

@@ -1,0 +1,352 @@
+// Package bbr implements the BBR v1 model the paper analyzes in §5.2:
+//
+//   - a bottleneck-bandwidth estimate taken as the max delivery rate over
+//     the last 10 RTTs,
+//   - a pacing rate of pacing_gain × bandwidth_estimate, with the gain
+//     cycling through 1.25 (probe), 0.75 (drain), then six 1.0 phases,
+//   - a congestion window cap of 2 × bandwidth_estimate × RTprop + α
+//     quanta (the "+α" term the paper identifies as the fairness-critical
+//     fixed point forcer),
+//   - a 10-second RTprop filter refreshed by ProbeRTT episodes.
+//
+// In pacing-limited mode d ∈ [Rm, 1.25·Rm], so δmax = Rm/4; when ACK
+// arrival jitter makes the max filter overestimate the bandwidth, the cwnd
+// cap binds (cwnd-limited mode) and the equilibrium becomes
+// RTT = 2·Rm + n·α/C — the Vegas-like curve of Fig. 3 whose tiny δ the
+// paper exploits to demonstrate starvation.
+package bbr
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"starvation/internal/cca"
+	"starvation/internal/units"
+)
+
+// Config parameterizes BBR.
+type Config struct {
+	MSS int
+	// QuantaPkts is the additive cwnd term α in packets (default 4).
+	QuantaPkts float64
+	// CwndGain multiplies the estimated BDP for the cwnd cap (default 2).
+	CwndGain float64
+	// RTpropWindow is the min-RTT filter window (default 10 s).
+	RTpropWindow time.Duration
+	// BwWindowRTTs is the max-bandwidth filter length in RTTs (default 10).
+	BwWindowRTTs int
+	// ProbeRTTDuration is the ProbeRTT dwell time (default 200 ms).
+	ProbeRTTDuration time.Duration
+	// InitialCwndPkts is the startup window (default 10).
+	InitialCwndPkts float64
+	// DisableProbeRTT turns off ProbeRTT episodes (theory experiments that
+	// grant oracular Rm knowledge use this together with RTpropHint).
+	DisableProbeRTT bool
+	// RTpropHint pins the RTprop estimate when nonzero.
+	RTpropHint time.Duration
+	// Rng drives the randomized ProbeBW phase offset; required.
+	Rng *rand.Rand
+}
+
+type state int
+
+const (
+	stStartup state = iota
+	stDrain
+	stProbeBW
+	stProbeRTT
+)
+
+var gainCycle = [...]float64{1.25, 0.75, 1, 1, 1, 1, 1, 1}
+
+const startupGain = 2.885
+
+// BBR is a BBR v1 sender model.
+type BBR struct {
+	cfg Config
+
+	st         state
+	btlBw      cca.WindowedMax // bytes/s
+	rtProp     cca.WindowedMin // seconds
+	srtt       cca.EWMA
+	pacingGain float64
+	cwndGain   float64
+
+	// Delivery-rate sampling.
+	delivered     int64
+	history       []histPoint // (time, delivered) samples
+	lastAckTime   time.Duration
+	lastRTpropRef time.Duration
+
+	// Startup full-pipe detection (evaluated once per round trip).
+	fullBwCount int
+	fullBw      float64
+	fullPipe    bool
+	lastBwCheck time.Duration
+
+	// ProbeBW cycling.
+	cycleIndex int
+	cycleStart time.Duration
+
+	// ProbeRTT.
+	probeRTTStart time.Duration
+	probeRTTDone  time.Duration
+
+	// Stats.
+	CwndLimitedAcks  int64
+	PacingLimitedAck int64
+}
+
+type histPoint struct {
+	t         time.Duration
+	delivered int64
+}
+
+// New returns a BBR instance.
+func New(cfg Config) *BBR {
+	if cfg.MSS <= 0 {
+		cfg.MSS = 1500
+	}
+	if cfg.QuantaPkts <= 0 {
+		cfg.QuantaPkts = 4
+	}
+	if cfg.CwndGain <= 0 {
+		cfg.CwndGain = 2
+	}
+	if cfg.RTpropWindow <= 0 {
+		cfg.RTpropWindow = 10 * time.Second
+	}
+	if cfg.BwWindowRTTs <= 0 {
+		cfg.BwWindowRTTs = 10
+	}
+	if cfg.ProbeRTTDuration <= 0 {
+		cfg.ProbeRTTDuration = 200 * time.Millisecond
+	}
+	if cfg.InitialCwndPkts <= 0 {
+		cfg.InitialCwndPkts = 10
+	}
+	if cfg.Rng == nil {
+		cfg.Rng = rand.New(rand.NewSource(1))
+	}
+	b := &BBR{
+		cfg:        cfg,
+		st:         stStartup,
+		pacingGain: startupGain,
+		cwndGain:   startupGain,
+	}
+	b.rtProp.Window = cfg.RTpropWindow
+	b.btlBw.Window = time.Second // retuned as RTT estimates arrive
+	b.srtt.Alpha = 0.125
+	return b
+}
+
+func init() {
+	cca.Register("bbr", func(mss int, rng *rand.Rand) cca.Algorithm {
+		return New(Config{MSS: mss, Rng: rng})
+	})
+}
+
+// Name implements cca.Algorithm.
+func (b *BBR) Name() string { return "bbr" }
+
+// State returns the current state name (for traces and tests).
+func (b *BBR) State() string {
+	switch b.st {
+	case stStartup:
+		return "startup"
+	case stDrain:
+		return "drain"
+	case stProbeBW:
+		return "probebw"
+	default:
+		return "probertt"
+	}
+}
+
+// RTprop returns the current min-RTT estimate.
+func (b *BBR) RTprop() time.Duration {
+	if b.cfg.RTpropHint > 0 {
+		return b.cfg.RTpropHint
+	}
+	return time.Duration(b.rtProp.Get(0) * float64(time.Second))
+}
+
+// BtlBw returns the bandwidth estimate.
+func (b *BBR) BtlBw() units.Rate { return units.Rate(b.btlBw.Get(0) * 8) }
+
+// Window implements cca.Algorithm: cwnd = gain·BDP + α quanta.
+func (b *BBR) Window() int {
+	if b.st == stProbeRTT {
+		return 4 * b.cfg.MSS
+	}
+	bw := b.btlBw.Get(0) // bytes/s
+	rt := b.RTprop()
+	if bw <= 0 || rt <= 0 {
+		return int(b.cfg.InitialCwndPkts) * b.cfg.MSS
+	}
+	bdp := bw * rt.Seconds()
+	w := b.cwndGain*bdp + b.cfg.QuantaPkts*float64(b.cfg.MSS)
+	min := 4 * b.cfg.MSS
+	if int(w) < min {
+		return min
+	}
+	return int(w)
+}
+
+// PacingRate implements cca.Algorithm.
+func (b *BBR) PacingRate() units.Rate {
+	bw := b.btlBw.Get(0)
+	if bw <= 0 {
+		return 0 // ACK-clocked bootstrap until the first sample
+	}
+	return units.Rate(bw * 8 * b.pacingGain)
+}
+
+// OnAck implements cca.Algorithm.
+func (b *BBR) OnAck(s cca.AckSignal) {
+	if s.DeliveredBytes > 0 {
+		b.delivered += int64(s.DeliveredBytes)
+	}
+	b.history = append(b.history, histPoint{s.Now, b.delivered})
+	b.pruneHistory(s.Now)
+	b.lastAckTime = s.Now
+
+	if s.RTT > 0 {
+		srtt := time.Duration(b.srtt.Update(float64(s.RTT)))
+		b.btlBw.Window = time.Duration(b.cfg.BwWindowRTTs) * srtt
+		if b.cfg.RTpropHint == 0 {
+			prev := b.rtProp.Get(1e18)
+			b.rtProp.Update(s.Now, s.RTT.Seconds())
+			if s.RTT.Seconds() <= prev {
+				b.lastRTpropRef = s.Now
+			}
+		}
+		// Delivery rate over roughly the last RTT. The divisor must be the
+		// exact span of the history sample used, not the nominal RTT: the
+		// lookup lands up to one inter-ACK gap early, and dividing that
+		// longer window's bytes by the shorter RTT overestimates the rate
+		// by ~(1 packet)/(BDP) — a bias the max filter latches, which
+		// would pace a slow, permanent queue creep on an ideal path.
+		dAtSend, tAtSend := b.deliveredAt(s.Now - s.RTT)
+		if span := (s.Now - tAtSend).Seconds(); span > 0 {
+			rate := float64(b.delivered-dAtSend) / span
+			if rate > 0 {
+				b.btlBw.Update(s.Now, rate)
+			}
+		}
+	}
+	b.advance(s.Now, s.InFlight)
+}
+
+// OnLoss implements cca.Algorithm. The §5.2 model does not react to loss;
+// BBR v1's conservation dynamics are immaterial to the experiments.
+func (b *BBR) OnLoss(cca.LossSignal) {}
+
+func (b *BBR) pruneHistory(now time.Duration) {
+	keep := b.cfg.RTpropWindow + 5*time.Second
+	i := 0
+	for i < len(b.history) && now-b.history[i].t > keep {
+		i++
+	}
+	if i > 0 {
+		b.history = append(b.history[:0], b.history[i:]...)
+	}
+}
+
+// deliveredAt returns the cumulative delivered count at the last history
+// point at or before t, along with that point's timestamp.
+func (b *BBR) deliveredAt(t time.Duration) (int64, time.Duration) {
+	if len(b.history) == 0 {
+		return 0, 0
+	}
+	if t <= b.history[0].t {
+		return b.history[0].delivered, b.history[0].t
+	}
+	i := sort.Search(len(b.history), func(i int) bool { return b.history[i].t > t })
+	return b.history[i-1].delivered, b.history[i-1].t
+}
+
+func (b *BBR) advance(now time.Duration, inflight int) {
+	// ProbeRTT entry: the RTprop estimate has gone stale.
+	if !b.cfg.DisableProbeRTT && b.cfg.RTpropHint == 0 &&
+		b.st != stProbeRTT && now-b.lastRTpropRef > b.cfg.RTpropWindow {
+		b.st = stProbeRTT
+		b.probeRTTStart = now
+		b.probeRTTDone = now + b.cfg.ProbeRTTDuration
+		b.pacingGain = 1
+		b.cwndGain = 1
+		return
+	}
+
+	switch b.st {
+	case stStartup:
+		b.checkFullPipe(now)
+		if b.fullPipe {
+			b.st = stDrain
+			b.pacingGain = 1 / startupGain
+			b.cwndGain = b.cfg.CwndGain
+		}
+	case stDrain:
+		bdp := b.btlBw.Get(0) * b.RTprop().Seconds()
+		if float64(inflight) <= bdp {
+			b.enterProbeBW(now)
+		}
+	case stProbeBW:
+		rt := b.RTprop()
+		if rt <= 0 {
+			rt = 10 * time.Millisecond
+		}
+		if now-b.cycleStart >= rt {
+			b.cycleIndex = (b.cycleIndex + 1) % len(gainCycle)
+			b.cycleStart = now
+			b.pacingGain = gainCycle[b.cycleIndex]
+		}
+	case stProbeRTT:
+		if now >= b.probeRTTDone {
+			b.lastRTpropRef = now
+			if b.fullPipe {
+				b.enterProbeBW(now)
+			} else {
+				b.st = stStartup
+				b.pacingGain = startupGain
+				b.cwndGain = startupGain
+			}
+		}
+	}
+}
+
+func (b *BBR) enterProbeBW(now time.Duration) {
+	b.st = stProbeBW
+	b.cwndGain = b.cfg.CwndGain
+	// Random initial phase (excluding the drain phase), so competing
+	// flows probe at different times — BBR's fairness mechanism.
+	idx := b.cfg.Rng.Intn(len(gainCycle) - 1)
+	if idx >= 1 {
+		idx++
+	}
+	b.cycleIndex = idx % len(gainCycle)
+	b.cycleStart = now
+	b.pacingGain = gainCycle[b.cycleIndex]
+}
+
+func (b *BBR) checkFullPipe(now time.Duration) {
+	bw := b.btlBw.Get(0)
+	if bw <= 0 {
+		return
+	}
+	srtt := time.Duration(b.srtt.Get(0))
+	if srtt <= 0 || now-b.lastBwCheck < srtt {
+		return
+	}
+	b.lastBwCheck = now
+	if bw >= b.fullBw*1.25 {
+		b.fullBw = bw
+		b.fullBwCount = 0
+		return
+	}
+	b.fullBwCount++
+	if b.fullBwCount >= 3 {
+		b.fullPipe = true
+	}
+}

@@ -1,0 +1,150 @@
+// Package cubic implements TCP Cubic (RFC 8312): window growth follows a
+// cubic function of time since the last decrease. Like Reno it is
+// loss-based and not delay-convergent; Fig. 7 shows its bounded unfairness
+// under delayed-ACK burstiness, and §5.4 notes that the faster flow's cubic
+// overshoot is what keeps the unfairness bounded.
+package cubic
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"starvation/internal/cca"
+	"starvation/internal/units"
+)
+
+// Config parameterizes Cubic.
+type Config struct {
+	MSS             int
+	InitialCwndPkts float64
+	// C is the cubic scaling constant in packets/s^3 (default 0.4).
+	C float64
+	// Beta is the multiplicative decrease factor (default 0.7).
+	Beta float64
+	// FastConvergence enables the wMax reduction heuristic (default on).
+	FastConvergence bool
+	// TCPFriendly enables the Reno-tracking floor (default on).
+	TCPFriendly bool
+}
+
+// Cubic is a Cubic sender. Window arithmetic is done in packets, as in the
+// RFC, and converted to bytes at the interface boundary.
+type Cubic struct {
+	cfg      Config
+	cwnd     float64 // packets
+	ssthresh float64 // packets
+
+	wMax       float64
+	epochStart time.Duration
+	k          float64
+	origin     float64
+	ackCount   float64 // packets acked since epoch start (for wTCP)
+	lastRTT    time.Duration
+}
+
+// New returns a Cubic instance.
+func New(cfg Config) *Cubic {
+	if cfg.MSS <= 0 {
+		cfg.MSS = 1500
+	}
+	if cfg.InitialCwndPkts <= 0 {
+		cfg.InitialCwndPkts = 10
+	}
+	if cfg.C <= 0 {
+		cfg.C = 0.4
+	}
+	if cfg.Beta <= 0 {
+		cfg.Beta = 0.7
+	}
+	return &Cubic{cfg: cfg, cwnd: cfg.InitialCwndPkts, ssthresh: math.Inf(1)}
+}
+
+func init() {
+	cca.Register("cubic", func(mss int, _ *rand.Rand) cca.Algorithm {
+		return New(Config{MSS: mss, FastConvergence: true, TCPFriendly: true})
+	})
+}
+
+// Name implements cca.Algorithm.
+func (c *Cubic) Name() string { return "cubic" }
+
+// Window implements cca.Algorithm.
+func (c *Cubic) Window() int { return int(c.cwnd * float64(c.cfg.MSS)) }
+
+// PacingRate implements cca.Algorithm.
+func (c *Cubic) PacingRate() units.Rate { return 0 }
+
+// CwndPkts returns the window in packets.
+func (c *Cubic) CwndPkts() float64 { return c.cwnd }
+
+// OnAck implements cca.Algorithm.
+func (c *Cubic) OnAck(s cca.AckSignal) {
+	if s.RTT > 0 {
+		c.lastRTT = s.RTT
+	}
+	if s.AckedBytes <= 0 {
+		return
+	}
+	ackedPkts := float64(s.AckedBytes) / float64(c.cfg.MSS)
+	if c.cwnd < c.ssthresh {
+		c.cwnd += ackedPkts
+		return
+	}
+	if c.epochStart == 0 {
+		c.epochStart = s.Now
+		c.ackCount = 0
+		if c.cwnd < c.wMax {
+			c.k = math.Cbrt((c.wMax - c.cwnd) / c.cfg.C)
+			c.origin = c.wMax
+		} else {
+			c.k = 0
+			c.origin = c.cwnd
+		}
+	}
+	c.ackCount += ackedPkts
+	t := (s.Now - c.epochStart + c.lastRTT).Seconds()
+	target := c.origin + c.cfg.C*math.Pow(t-c.k, 3)
+	if target > c.cwnd {
+		c.cwnd += (target - c.cwnd) / c.cwnd * ackedPkts
+	} else {
+		// Slow "reconnaissance" growth below the target.
+		c.cwnd += ackedPkts / (100 * c.cwnd)
+	}
+	if c.cfg.TCPFriendly && c.lastRTT > 0 {
+		rttCount := (s.Now - c.epochStart).Seconds() / c.lastRTT.Seconds()
+		wTCP := c.wMax*c.cfg.Beta + 3*(1-c.cfg.Beta)/(1+c.cfg.Beta)*rttCount
+		if wTCP > c.cwnd {
+			c.cwnd = wTCP
+		}
+	}
+}
+
+// OnLoss implements cca.Algorithm.
+func (c *Cubic) OnLoss(s cca.LossSignal) {
+	if !s.NewEvent {
+		return
+	}
+	if s.Timeout {
+		c.wMax = c.cwnd
+		c.ssthresh = maxF(c.cwnd*c.cfg.Beta, 2)
+		c.cwnd = 1
+		c.epochStart = 0
+		return
+	}
+	if c.cfg.FastConvergence && c.cwnd < c.wMax {
+		c.wMax = c.cwnd * (2 - c.cfg.Beta) / 2
+	} else {
+		c.wMax = c.cwnd
+	}
+	c.cwnd = maxF(c.cwnd*c.cfg.Beta, 2)
+	c.ssthresh = c.cwnd
+	c.epochStart = 0
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

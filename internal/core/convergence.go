@@ -1,0 +1,143 @@
+// Package core implements the paper's primary contribution as executable
+// machinery:
+//
+//   - measurement of delay-convergence (Definition 1): the equilibrium
+//     delay interval [dmin(C), dmax(C)] and δ(C) of a CCA on an ideal path;
+//   - rate-delay sweeps that regenerate Figures 2 and 3;
+//   - the pigeonhole search of Theorem 1 step 1, which finds link rates
+//     C1, C2 a factor ≥ s/f apart whose delay ranges collide;
+//   - the delay-trajectory emulation of Theorem 1 step 3, which runs two
+//     flows on a shared C1+C2 link while a bounded non-congestive delay
+//     element makes each flow observe its single-flow trajectory, forcing a
+//     throughput ratio ≥ s (starvation);
+//   - the Theorem 2 construction (arbitrary under-utilization when
+//     dmax(C) ≤ D);
+//   - closed-form equilibria and the §6.3 figure-of-merit formulas.
+package core
+
+import (
+	"time"
+
+	"starvation/internal/cca"
+	"starvation/internal/network"
+	"starvation/internal/trace"
+	"starvation/internal/units"
+)
+
+// Factory builds a fresh CCA instance for a measurement run.
+type Factory func() cca.Algorithm
+
+// Convergence describes one CCA's equilibrium on one ideal path, i.e. one
+// point of Definition 1.
+type Convergence struct {
+	C  units.Rate
+	Rm time.Duration
+	// DMin and DMax bound the RTT over the measurement window: the
+	// [dmin(C), dmax(C)] of Definition 1.
+	DMin, DMax time.Duration
+	// Delta is DMax − DMin, the δ(C) of Definition 1.
+	Delta time.Duration
+	// Throughput is the steady-state throughput (for f-efficiency checks).
+	Throughput units.Rate
+	// SteadyMeanRTT is the mean RTT over the measurement window — the
+	// center of the equilibrium band.
+	SteadyMeanRTT time.Duration
+	// ConvergedAt estimates T of Definition 1: the last time the RTT left
+	// the equilibrium interval.
+	ConvergedAt time.Duration
+	// FinalCwndPkts is the window (in MSS units) at the end of the run,
+	// used to restart a flow from its converged state.
+	FinalCwndPkts float64
+	// FinalPacing is the pacing rate at the end of the run.
+	FinalPacing units.Rate
+	// RTT and Rate are the full recorded trajectories (the d(t) and r(t)
+	// of the proof).
+	RTT  *trace.Series
+	Rate *trace.Series
+}
+
+// MeasureOpts tunes a convergence measurement.
+type MeasureOpts struct {
+	// Duration of the run (default 60 s).
+	Duration time.Duration
+	// WindowFrac is the trailing fraction used as the equilibrium window
+	// (default 0.4: the last 40% of the run).
+	WindowFrac float64
+	// MSS (default 1500).
+	MSS int
+	// Seed for the run (default 1).
+	Seed int64
+}
+
+func (o *MeasureOpts) fill() {
+	if o.Duration <= 0 {
+		o.Duration = 60 * time.Second
+	}
+	if o.WindowFrac <= 0 || o.WindowFrac >= 1 {
+		o.WindowFrac = 0.4
+	}
+	if o.MSS <= 0 {
+		o.MSS = 1500
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// MeasureConvergence runs a single flow of the given CCA on an ideal path
+// (constant rate C, propagation Rm, unbounded buffer, zero non-congestive
+// delay) and reports its equilibrium delay interval.
+func MeasureConvergence(f Factory, c units.Rate, rm time.Duration, opts MeasureOpts) *Convergence {
+	opts.fill()
+	alg := f()
+	n := network.New(
+		network.Config{Rate: c, Seed: opts.Seed},
+		network.FlowSpec{Name: "probe", Alg: alg, Rm: rm, MSS: opts.MSS},
+	)
+	d := opts.Duration
+	from := time.Duration((1 - opts.WindowFrac) * float64(d))
+	res := n.RunWindow(d, from, d)
+	fr := res.Flows[0]
+
+	conv := &Convergence{
+		C:           c,
+		Rm:          rm,
+		DMin:        fr.Stat.SteadyRTTLo,
+		DMax:        fr.Stat.SteadyRTTHi,
+		Delta:       fr.Stat.SteadyRTTHi - fr.Stat.SteadyRTTLo,
+		Throughput:  fr.Stat.SteadyThpt,
+		FinalPacing: alg.PacingRate(),
+		RTT:         fr.RTT,
+		Rate:        fr.Rate,
+	}
+	conv.FinalCwndPkts = float64(alg.Window()) / float64(opts.MSS)
+	conv.ConvergedAt = estimateConvergenceTime(fr.RTT, conv.DMin, conv.DMax)
+	if m, ok := fr.RTT.Mean(from, d); ok {
+		conv.SteadyMeanRTT = time.Duration(m * float64(time.Second))
+	}
+	return conv
+}
+
+// estimateConvergenceTime returns the time after which every RTT sample
+// stayed within [lo, hi] (with a 1% margin), i.e. the T of Definition 1.
+func estimateConvergenceTime(rtt *trace.Series, lo, hi time.Duration) time.Duration {
+	margin := (hi - lo) / 100
+	loS := (lo - margin).Seconds()
+	hiS := (hi + margin).Seconds()
+	var t time.Duration
+	for _, p := range rtt.Points {
+		if p.V < loS || p.V > hiS {
+			t = p.T
+		}
+	}
+	return t
+}
+
+// Efficiency returns the achieved fraction of link capacity, the f of
+// Definition 4 evaluated at this operating point.
+func (c *Convergence) Efficiency() float64 {
+	if c.C <= 0 {
+		return 0
+	}
+	return float64(c.Throughput) / float64(c.C)
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"starvation/internal/cca"
+	"starvation/internal/cca/vegas"
+	"starvation/internal/trace"
+	"starvation/internal/units"
+)
+
+func TestEstimateConvergenceTime(t *testing.T) {
+	s := &trace.Series{}
+	// Transient: samples outside the band until 3s, then inside.
+	s.Add(0, 0.200)
+	s.Add(1*time.Second, 0.150)
+	s.Add(3*time.Second, 0.120)
+	s.Add(4*time.Second, 0.101)
+	s.Add(5*time.Second, 0.102)
+	s.Add(6*time.Second, 0.100)
+	got := estimateConvergenceTime(s, 100*time.Millisecond, 102*time.Millisecond)
+	if got != 3*time.Second {
+		t.Errorf("ConvergedAt = %v, want 3s (last out-of-band sample)", got)
+	}
+}
+
+func TestEstimateConvergenceTimeImmediate(t *testing.T) {
+	s := &trace.Series{}
+	s.Add(0, 0.101)
+	s.Add(time.Second, 0.102)
+	got := estimateConvergenceTime(s, 100*time.Millisecond, 102*time.Millisecond)
+	if got != 0 {
+		t.Errorf("ConvergedAt = %v, want 0 (never left the band)", got)
+	}
+}
+
+func TestMeasureOptsDefaults(t *testing.T) {
+	var o MeasureOpts
+	o.fill()
+	if o.Duration != 60*time.Second || o.WindowFrac != 0.4 || o.MSS != 1500 || o.Seed != 1 {
+		t.Errorf("defaults = %+v", o)
+	}
+}
+
+func TestConvergenceCapturesFinalState(t *testing.T) {
+	conv := MeasureConvergence(func() cca.Algorithm {
+		return vegas.New(vegas.Config{})
+	}, units.Mbps(12), 100*time.Millisecond, MeasureOpts{Duration: 15 * time.Second})
+	// Vegas at 12 Mbit/s × ~104ms: ~104 packets plus the α backlog.
+	if conv.FinalCwndPkts < 95 || conv.FinalCwndPkts > 115 {
+		t.Errorf("FinalCwndPkts = %v, want ~104", conv.FinalCwndPkts)
+	}
+	if conv.SteadyMeanRTT < conv.DMin || conv.SteadyMeanRTT > conv.DMax {
+		t.Errorf("mean %v outside [dmin %v, dmax %v]", conv.SteadyMeanRTT, conv.DMin, conv.DMax)
+	}
+	if conv.Efficiency() < 0.95 || conv.Efficiency() > 1.05 {
+		t.Errorf("efficiency = %v", conv.Efficiency())
+	}
+	if conv.RTT.Len() == 0 || conv.Rate.Len() == 0 {
+		t.Error("trajectories not recorded")
+	}
+}
+
+func TestSweepCSV(t *testing.T) {
+	sw := &Sweep{Name: "x", Rm: 100 * time.Millisecond}
+	sw.Points = append(sw.Points, SweepPoint{
+		C: units.Mbps(10), DMin: 100 * time.Millisecond,
+		DMax: 105 * time.Millisecond, Delta: 5 * time.Millisecond, Efficiency: 0.99,
+	})
+	var b writerBuffer
+	if err := sw.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "rate_mbps,dmin_ms,dmax_ms,delta_ms,efficiency\n10,100.0000,105.0000,5.0000,0.9900\n"
+	if string(b) != want {
+		t.Errorf("CSV = %q, want %q", string(b), want)
+	}
+}
+
+type writerBuffer []byte
+
+func (w *writerBuffer) Write(p []byte) (int, error) {
+	*w = append(*w, p...)
+	return len(p), nil
+}

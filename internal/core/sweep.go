@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"starvation/internal/units"
+)
+
+// SweepPoint is one column of a rate-delay graph (Figures 2 and 3).
+type SweepPoint struct {
+	C          units.Rate
+	DMin, DMax time.Duration
+	Delta      time.Duration
+	Efficiency float64
+}
+
+// Sweep is a measured rate-delay graph for one CCA.
+type Sweep struct {
+	Name   string
+	Rm     time.Duration
+	Points []SweepPoint
+}
+
+// LogSpace returns n rates geometrically spaced over [lo, hi] inclusive.
+func LogSpace(lo, hi units.Rate, n int) []units.Rate {
+	if n < 2 {
+		return []units.Rate{lo}
+	}
+	out := make([]units.Rate, n)
+	ratio := math.Pow(float64(hi)/float64(lo), 1/float64(n-1))
+	v := float64(lo)
+	for i := range out {
+		out[i] = units.Rate(v)
+		v *= ratio
+	}
+	return out
+}
+
+// RateDelaySweep measures the equilibrium delay interval of the CCA at each
+// link rate, regenerating one panel of Figure 3. Lower rates get longer
+// runs so slow flows still converge.
+func RateDelaySweep(name string, f Factory, rm time.Duration, rates []units.Rate, opts MeasureOpts) *Sweep {
+	opts.fill()
+	sw := &Sweep{Name: name, Rm: rm}
+	for _, c := range rates {
+		o := opts
+		// Ensure the run spans enough packets and RTTs at low rates: at
+		// least ~400 packet-times and 200 RTTs.
+		pktTime := c.TxTime(opts.MSS)
+		if min := 400 * pktTime; o.Duration < min {
+			o.Duration = min
+		}
+		if min := 200 * rm; o.Duration < min {
+			o.Duration = min
+		}
+		conv := MeasureConvergence(f, c, rm, o)
+		sw.Points = append(sw.Points, SweepPoint{
+			C:          c,
+			DMin:       conv.DMin,
+			DMax:       conv.DMax,
+			Delta:      conv.Delta,
+			Efficiency: conv.Efficiency(),
+		})
+	}
+	return sw
+}
+
+// DeltaMax returns the largest δ(C) over the sweep restricted to rates
+// above lambda — the δmax bound of Definition 1(2).
+func (s *Sweep) DeltaMax(lambda units.Rate) time.Duration {
+	var dm time.Duration
+	for _, p := range s.Points {
+		if p.C > lambda && p.Delta > dm {
+			dm = p.Delta
+		}
+	}
+	return dm
+}
+
+// DMaxBound returns the largest dmax(C) over rates above lambda.
+func (s *Sweep) DMaxBound(lambda units.Rate) time.Duration {
+	var dm time.Duration
+	for _, p := range s.Points {
+		if p.C > lambda && p.DMax > dm {
+			dm = p.DMax
+		}
+	}
+	return dm
+}
+
+// WriteCSV emits the sweep as CSV.
+func (s *Sweep) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "rate_mbps,dmin_ms,dmax_ms,delta_ms,efficiency\n"); err != nil {
+		return err
+	}
+	for _, p := range s.Points {
+		if _, err := fmt.Fprintf(w, "%.4g,%.4f,%.4f,%.4f,%.4f\n",
+			p.C.Mbit(),
+			float64(p.DMin)/1e6, float64(p.DMax)/1e6, float64(p.Delta)/1e6,
+			p.Efficiency); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the sweep as an aligned table.
+func (s *Sweep) String() string {
+	out := fmt.Sprintf("%s (Rm=%v)\n%12s %12s %12s %10s %6s\n",
+		s.Name, s.Rm, "rate", "dmin", "dmax", "delta", "eff")
+	for _, p := range s.Points {
+		out += fmt.Sprintf("%12s %12s %12s %10s %6.2f\n",
+			p.C, p.DMin.Round(10*time.Microsecond), p.DMax.Round(10*time.Microsecond),
+			p.Delta.Round(10*time.Microsecond), p.Efficiency)
+	}
+	return out
+}

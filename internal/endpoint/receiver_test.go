@@ -1,0 +1,171 @@
+package endpoint
+
+import (
+	"testing"
+	"time"
+
+	"starvation/internal/packet"
+	"starvation/internal/sim"
+)
+
+func TestReceiverPerPacketAcks(t *testing.T) {
+	s := sim.New(1)
+	var acks []packet.Ack
+	r := NewReceiver(s, 0, AckConfig{}, func(a packet.Ack) { acks = append(acks, a) })
+	r.OnPacket(packet.Packet{Seq: 0, Size: 1500, SentAt: 1})
+	r.OnPacket(packet.Packet{Seq: 1500, Size: 1500, SentAt: 2})
+	if len(acks) != 2 {
+		t.Fatalf("acks = %d, want 2", len(acks))
+	}
+	if acks[0].CumAck != 1500 || acks[1].CumAck != 3000 {
+		t.Errorf("cum acks = %d,%d want 1500,3000", acks[0].CumAck, acks[1].CumAck)
+	}
+	if acks[1].Delivered != 3000 {
+		t.Errorf("delivered = %d, want 3000", acks[1].Delivered)
+	}
+}
+
+func TestReceiverOutOfOrder(t *testing.T) {
+	s := sim.New(1)
+	var acks []packet.Ack
+	r := NewReceiver(s, 0, AckConfig{}, func(a packet.Ack) { acks = append(acks, a) })
+	r.OnPacket(packet.Packet{Seq: 0, Size: 1500})
+	r.OnPacket(packet.Packet{Seq: 3000, Size: 1500}) // hole at 1500
+	r.OnPacket(packet.Packet{Seq: 4500, Size: 1500})
+	if acks[1].CumAck != 1500 || acks[2].CumAck != 1500 {
+		t.Errorf("dup acks CumAck = %d,%d want 1500,1500", acks[1].CumAck, acks[2].CumAck)
+	}
+	// Delivered counts out-of-order bytes.
+	if acks[2].Delivered != 4500 {
+		t.Errorf("delivered = %d, want 4500", acks[2].Delivered)
+	}
+	// Hole fill jumps the cumulative ack over the buffered range.
+	r.OnPacket(packet.Packet{Seq: 1500, Size: 1500})
+	last := acks[len(acks)-1]
+	if last.CumAck != 6000 {
+		t.Errorf("CumAck after fill = %d, want 6000", last.CumAck)
+	}
+	if last.NewlyAcked != 4500 {
+		t.Errorf("NewlyAcked after fill = %d, want 4500", last.NewlyAcked)
+	}
+}
+
+func TestReceiverDuplicateData(t *testing.T) {
+	s := sim.New(1)
+	var acks []packet.Ack
+	r := NewReceiver(s, 0, AckConfig{}, func(a packet.Ack) { acks = append(acks, a) })
+	r.OnPacket(packet.Packet{Seq: 0, Size: 1500})
+	r.OnPacket(packet.Packet{Seq: 0, Size: 1500, Retx: true}) // spurious retx
+	if len(acks) != 2 {
+		t.Fatalf("acks = %d, want 2 (duplicates still acked)", len(acks))
+	}
+	if acks[1].CumAck != 1500 {
+		t.Errorf("dup ack CumAck = %d, want 1500", acks[1].CumAck)
+	}
+	if acks[1].Delivered != 1500 {
+		t.Errorf("delivered after dup = %d, want 1500 (no double count)", acks[1].Delivered)
+	}
+	// Duplicate of buffered out-of-order data must not double count either.
+	r.OnPacket(packet.Packet{Seq: 4500, Size: 1500})
+	r.OnPacket(packet.Packet{Seq: 4500, Size: 1500, Retx: true})
+	last := acks[len(acks)-1]
+	if last.Delivered != 3000 {
+		t.Errorf("delivered after ooo dup = %d, want 3000", last.Delivered)
+	}
+}
+
+func TestReceiverDelayedAckCount(t *testing.T) {
+	s := sim.New(1)
+	var acks []packet.Ack
+	r := NewReceiver(s, 0, AckConfig{DelayCount: 4, DelayTimeout: 200 * time.Millisecond},
+		func(a packet.Ack) { acks = append(acks, a) })
+	for i := 0; i < 4; i++ {
+		r.OnPacket(packet.Packet{Seq: int64(i * 1500), Size: 1500})
+	}
+	if len(acks) != 1 {
+		t.Fatalf("acks = %d, want 1 (batched)", len(acks))
+	}
+	if acks[0].Count != 4 || acks[0].CumAck != 6000 {
+		t.Errorf("batched ack = %+v", acks[0])
+	}
+}
+
+func TestReceiverDelayedAckTimeout(t *testing.T) {
+	s := sim.New(1)
+	var acks []packet.Ack
+	r := NewReceiver(s, 0, AckConfig{DelayCount: 4, DelayTimeout: 50 * time.Millisecond},
+		func(a packet.Ack) { acks = append(acks, a) })
+	s.At(0, func() { r.OnPacket(packet.Packet{Seq: 0, Size: 1500}) })
+	s.Run(time.Second)
+	if len(acks) != 1 {
+		t.Fatalf("acks = %d, want 1 (timeout flush)", len(acks))
+	}
+	if acks[0].RecvdAt != 50*time.Millisecond {
+		t.Errorf("flush at %v, want 50ms", acks[0].RecvdAt)
+	}
+}
+
+func TestReceiverDelayedAckImmediateOnOOO(t *testing.T) {
+	s := sim.New(1)
+	var acks []packet.Ack
+	r := NewReceiver(s, 0, AckConfig{DelayCount: 4, DelayTimeout: 200 * time.Millisecond},
+		func(a packet.Ack) { acks = append(acks, a) })
+	r.OnPacket(packet.Packet{Seq: 3000, Size: 1500}) // hole: flush now
+	if len(acks) != 1 {
+		t.Fatalf("out-of-order data not acked immediately")
+	}
+}
+
+func TestReceiverAggregationBurst(t *testing.T) {
+	s := sim.New(1)
+	var acks []packet.Ack
+	r := NewReceiver(s, 0, AckConfig{AggregatePeriod: 60 * time.Millisecond},
+		func(a packet.Ack) { acks = append(acks, a) })
+	// Three packets land mid-period; their ACKs release together at 60ms,
+	// as individual per-packet ACKs (burst, not merged).
+	for i := 0; i < 3; i++ {
+		i := i
+		s.At(time.Duration(10+i*10)*time.Millisecond, func() {
+			r.OnPacket(packet.Packet{Seq: int64(i * 1500), Size: 1500, SentAt: time.Duration(i + 1)})
+		})
+	}
+	s.Run(time.Second)
+	if len(acks) != 3 {
+		t.Fatalf("acks = %d, want 3 (burst of per-packet acks)", len(acks))
+	}
+	for i, a := range acks {
+		if a.RecvdAt != 60*time.Millisecond {
+			t.Errorf("ack %d released at %v, want 60ms", i, a.RecvdAt)
+		}
+	}
+	// Per-packet echo info is preserved.
+	if acks[0].EchoSentAt != 1 || acks[2].EchoSentAt != 3 {
+		t.Errorf("echo timestamps lost in aggregation: %v, %v", acks[0].EchoSentAt, acks[2].EchoSentAt)
+	}
+}
+
+func TestReceiverAggregationOnBoundary(t *testing.T) {
+	s := sim.New(1)
+	var acks []packet.Ack
+	r := NewReceiver(s, 0, AckConfig{AggregatePeriod: 60 * time.Millisecond},
+		func(a packet.Ack) { acks = append(acks, a) })
+	s.At(60*time.Millisecond, func() { r.OnPacket(packet.Packet{Seq: 0, Size: 1500}) })
+	s.Run(time.Second)
+	if len(acks) != 1 || acks[0].RecvdAt != 60*time.Millisecond {
+		t.Fatalf("boundary arrival should release immediately: %+v", acks)
+	}
+}
+
+func TestReceiverECNEcho(t *testing.T) {
+	s := sim.New(1)
+	var acks []packet.Ack
+	r := NewReceiver(s, 0, AckConfig{}, func(a packet.Ack) { acks = append(acks, a) })
+	r.OnPacket(packet.Packet{Seq: 0, Size: 1500, ECN: true})
+	r.OnPacket(packet.Packet{Seq: 1500, Size: 1500})
+	if !acks[0].ECE {
+		t.Error("ECN mark not echoed")
+	}
+	if acks[1].ECE {
+		t.Error("ECE persisted past its ack")
+	}
+}

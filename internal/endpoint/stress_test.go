@@ -1,0 +1,113 @@
+package endpoint
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"starvation/internal/packet"
+	"starvation/internal/sim"
+)
+
+// TestQuickTransportUnderJitterAndLoss subjects the transport to the
+// combined §3 stressors at once — random per-packet one-way delay (bounded,
+// order-preserving as in the model) plus random loss — and checks the
+// invariants that every network element downstream relies on:
+//
+//   - all data is eventually acknowledged (conservation);
+//   - the cumulative ACK never regresses and delivered counts are
+//     monotone;
+//   - RTT samples are never below the true minimum path delay.
+func TestQuickTransportUnderJitterAndLoss(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := sim.New(seed)
+		const (
+			oneWay = 20 * time.Millisecond
+			maxJit = 15 * time.Millisecond
+			mss    = 1500
+		)
+		alg := &fixedAlg{window: 12 * mss}
+		var sn *Sender
+		recv := NewReceiver(s, 0, AckConfig{}, func(a packet.Ack) { sn.OnAck(a) })
+
+		lastDeliver := time.Duration(0) // no-reorder clamp, as the model requires
+		sn = NewSender(s, 0, alg, mss, func(p packet.Packet) {
+			if rng.Float64() < 0.08 {
+				return // lost
+			}
+			jit := time.Duration(rng.Int63n(int64(maxJit)))
+			at := s.Now() + oneWay + jit
+			if at < lastDeliver {
+				at = lastDeliver
+			}
+			lastDeliver = at
+			s.At(at, func() { recv.OnPacket(p) })
+		})
+
+		lastCum := int64(-1)
+		lastDelivered := int64(-1)
+		ok := true
+		sn.AckTraceHook = func(now, rtt time.Duration, acked int) {
+			if rtt > 0 && rtt < oneWay {
+				ok = false // impossible RTT
+			}
+			if sn.AckedBytes < lastCum {
+				ok = false
+			}
+			lastCum = sn.AckedBytes
+			if sn.DeliveredBytes < lastDelivered {
+				ok = false
+			}
+			lastDelivered = sn.DeliveredBytes
+		}
+
+		s.At(0, sn.Start)
+		s.Run(20 * time.Second)
+		if !ok {
+			return false
+		}
+		// Conservation: with 8% loss and RTO recovery, everything sent by
+		// t=15s must be acked by t=20s.
+		return sn.AckedBytes > 0 && sn.AckedBytes >= int64(float64(sn.SentBytes-sn.RetxBytes)*0.8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAggregatedAcksWithLoss exercises the §5.3 receiver policy combined
+// with loss: the burst-released per-packet ACKs must still drive SACK
+// recovery.
+func TestAggregatedAcksWithLoss(t *testing.T) {
+	alg := &fixedAlg{window: 20 * 1500}
+	l := newLoop(alg, 10*time.Millisecond, AckConfig{AggregatePeriod: 25 * time.Millisecond})
+	for i := 5; i < 100; i += 10 {
+		l.dropSeqs[int64(i*1500)] = true
+	}
+	l.sim.At(0, l.sender.Start)
+	l.sim.Run(5 * time.Second)
+	if l.sender.AckedBytes < 100*1500 {
+		t.Errorf("acked %d, want >= %d (holes recovered through ACK bursts)",
+			l.sender.AckedBytes, 100*1500)
+	}
+	if l.sender.Timeouts > 2 {
+		t.Errorf("timeouts = %d; aggregated SACK bursts should still fast-recover", l.sender.Timeouts)
+	}
+}
+
+// TestDelayedAcksWithLoss: count-based delayed ACKs (Fig. 7's receiver)
+// with drops — the delayed policy still acks out-of-order data immediately,
+// so recovery proceeds.
+func TestDelayedAcksWithLoss(t *testing.T) {
+	alg := &fixedAlg{window: 20 * 1500}
+	l := newLoop(alg, 10*time.Millisecond, AckConfig{DelayCount: 4, DelayTimeout: 50 * time.Millisecond})
+	l.dropSeqs[30000] = true
+	l.dropSeqs[60000] = true
+	l.sim.At(0, l.sender.Start)
+	l.sim.Run(3 * time.Second)
+	if l.sender.AckedBytes < 60*1500 {
+		t.Errorf("acked %d, want progress past both holes", l.sender.AckedBytes)
+	}
+}

@@ -1,0 +1,75 @@
+package metrics
+
+import (
+	"time"
+
+	"starvation/internal/trace"
+)
+
+// SFairness operationalizes Definition 2 over a finite run: the network is
+// s-fair when there is a finite time t after which the throughput ratio of
+// the faster flow over the slower one stays below s. No finite experiment
+// can certify "for all future time" (that is Definition 3's starvation
+// quantifier), so the checker reports the tightest bound that held over
+// the trailing half of the observation window, plus the earliest time from
+// which that bound already held — the paper's "the ratio of throughput
+// between the two flows is X:1" with its stabilization time.
+type SFairness struct {
+	// S is the max throughput ratio over the window's trailing half.
+	S float64
+	// HoldsFrom is the earliest grid time from which the ratio never
+	// exceeded S·(1+Tolerance) again.
+	HoldsFrom time.Duration
+	// Samples is the number of grid points compared.
+	Samples int
+}
+
+// sFairTolerance is the slack applied when locating HoldsFrom.
+const sFairTolerance = 0.1
+
+// MeasureSFairness scans two windowed-rate traces on a shared grid. Grid
+// points where neither flow has sent are skipped; minRate (bit/s) floors
+// the denominator so a not-yet-started flow does not yield infinities.
+func MeasureSFairness(a, b *trace.Series, start, end, step time.Duration, minRate float64) SFairness {
+	if minRate <= 0 {
+		minRate = 1
+	}
+	ratioAt := func(t time.Duration) (float64, bool) {
+		ra, rb := a.At(t, 0), b.At(t, 0)
+		if ra <= 0 && rb <= 0 {
+			return 0, false
+		}
+		lo, hi := ra, rb
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if lo < minRate {
+			lo = minRate
+		}
+		return hi / lo, true
+	}
+
+	res := SFairness{HoldsFrom: end}
+	mid := start + (end-start)/2
+	for t := mid; t <= end; t += step {
+		r, ok := ratioAt(t)
+		if !ok {
+			continue
+		}
+		res.Samples++
+		if r > res.S {
+			res.S = r
+		}
+	}
+	// Walk backward from mid to find how early the bound already held.
+	bound := res.S * (1 + sFairTolerance)
+	res.HoldsFrom = mid
+	for t := mid - step; t >= start; t -= step {
+		r, ok := ratioAt(t)
+		if ok && r > bound {
+			break
+		}
+		res.HoldsFrom = t
+	}
+	return res
+}

@@ -1,0 +1,69 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+
+	"starvation/internal/trace"
+)
+
+func series(vals ...float64) *trace.Series {
+	s := &trace.Series{}
+	for i, v := range vals {
+		s.Add(time.Duration(i)*time.Second, v)
+	}
+	return s
+}
+
+func TestSFairnessFairFlows(t *testing.T) {
+	a := series(10, 10, 10, 10, 10, 10, 10, 10)
+	b := series(2, 5, 9, 10, 10, 10, 10, 10) // converges by t=3
+	res := MeasureSFairness(a, b, 0, 7*time.Second, time.Second, 1)
+	if res.S > 1.01 {
+		t.Errorf("S = %v, want ~1 (converged flows)", res.S)
+	}
+	// At t=2.5s the step function still reads b=9 (ratio 1.11 > bound), so
+	// the hold point sits at the window midpoint.
+	if res.HoldsFrom > 4*time.Second {
+		t.Errorf("HoldsFrom = %v, want <= 4s", res.HoldsFrom)
+	}
+}
+
+func TestSFairnessStarvedFlows(t *testing.T) {
+	a := series(100, 100, 100, 100, 100, 100, 100, 100)
+	b := series(100, 50, 20, 10, 10, 10, 10, 10)
+	res := MeasureSFairness(a, b, 0, 7*time.Second, time.Second, 1)
+	if res.S < 9.9 || res.S > 10.1 {
+		t.Errorf("S = %v, want 10 (persistent 10:1)", res.S)
+	}
+}
+
+func TestSFairnessTransientSpikeExcluded(t *testing.T) {
+	// A startup spike in the first half must not inflate the bound, but
+	// must delay HoldsFrom.
+	a := series(100, 100, 100, 100, 100, 100, 100, 100, 100, 100)
+	b := series(1, 1, 50, 50, 50, 50, 50, 50, 50, 50)
+	res := MeasureSFairness(a, b, 0, 9*time.Second, time.Second, 1)
+	if res.S > 2.01 {
+		t.Errorf("S = %v, want 2 (tail ratio)", res.S)
+	}
+	if res.HoldsFrom < 2*time.Second {
+		t.Errorf("HoldsFrom = %v, want >= 2s (spike before that)", res.HoldsFrom)
+	}
+}
+
+func TestSFairnessMinRateFloor(t *testing.T) {
+	a := series(100, 100, 100, 100)
+	b := series(0, 0, 0, 0) // never starts
+	res := MeasureSFairness(a, b, 0, 3*time.Second, time.Second, 10)
+	if res.S != 10 {
+		t.Errorf("S = %v, want 100/10 with the floor", res.S)
+	}
+}
+
+func TestSFairnessEmpty(t *testing.T) {
+	res := MeasureSFairness(&trace.Series{}, &trace.Series{}, 0, 5*time.Second, time.Second, 1)
+	if res.Samples != 0 || res.S != 0 {
+		t.Errorf("empty traces: %+v", res)
+	}
+}

@@ -1,0 +1,120 @@
+package netem
+
+import (
+	"time"
+
+	"starvation/internal/netem/jitter"
+	"starvation/internal/packet"
+	"starvation/internal/sim"
+)
+
+// Propagation is a fixed delay: every packet is delivered exactly d later.
+// It models the minimum packet propagation RTT Rm of the paper (we fold the
+// whole round trip's propagation into one direction, which is equivalent
+// from the sender's point of view).
+type Propagation struct {
+	sim *sim.Simulator
+	d   time.Duration
+	out PacketHandler
+}
+
+// NewPropagation returns a fixed-delay element.
+func NewPropagation(s *sim.Simulator, d time.Duration, out PacketHandler) *Propagation {
+	return &Propagation{sim: s, d: d, out: out}
+}
+
+// Send delays p by the propagation time.
+func (pr *Propagation) Send(p packet.Packet) {
+	pr.sim.After(pr.d, func() { pr.out(p) })
+}
+
+// DelayBox is the paper's per-flow non-congestive delay element for data
+// packets: it holds each packet for a policy-chosen duration in [0, D] and
+// never reorders (release times are clamped to be monotone).
+type DelayBox struct {
+	sim    *sim.Simulator
+	policy jitter.Policy
+	out    PacketHandler
+
+	lastRelease time.Duration
+
+	// MaxApplied records the largest delay actually applied, for checking
+	// that a scenario stayed within its declared bound D.
+	MaxApplied time.Duration
+}
+
+// NewDelayBox returns a delay element applying the given policy.
+func NewDelayBox(s *sim.Simulator, p jitter.Policy, out PacketHandler) *DelayBox {
+	return &DelayBox{sim: s, policy: p, out: out}
+}
+
+// Send applies the policy delay to p.
+func (b *DelayBox) Send(p packet.Packet) {
+	b.deliver(p)
+}
+
+// SendAfter first applies a fixed extra delay (e.g. propagation) and then
+// the policy delay. The policy is consulted at the packet's arrival time at
+// the box, i.e. after the extra delay has elapsed.
+func (b *DelayBox) SendAfter(p packet.Packet, extra time.Duration) {
+	if extra <= 0 {
+		b.deliver(p)
+		return
+	}
+	b.sim.After(extra, func() { b.deliver(p) })
+}
+
+func (b *DelayBox) deliver(p packet.Packet) {
+	now := b.sim.Now()
+	var d time.Duration
+	if pa, ok := b.policy.(jitter.PacketAware); ok {
+		d = pa.DelayPacket(now, p.SentAt, p.Seq)
+	} else {
+		d = b.policy.Delay(now, p.Seq)
+	}
+	if d < 0 {
+		d = 0
+	}
+	if d > b.MaxApplied {
+		b.MaxApplied = d
+	}
+	release := now + d
+	if release < b.lastRelease {
+		release = b.lastRelease // preserve FIFO order within the flow
+	}
+	b.lastRelease = release
+	b.sim.At(release, func() { b.out(p) })
+}
+
+// AckDelayBox is the same element for the reverse (ACK) path.
+type AckDelayBox struct {
+	sim    *sim.Simulator
+	policy jitter.Policy
+	out    AckHandler
+
+	lastRelease time.Duration
+	MaxApplied  time.Duration
+}
+
+// NewAckDelayBox returns an ACK-path delay element applying the policy.
+func NewAckDelayBox(s *sim.Simulator, p jitter.Policy, out AckHandler) *AckDelayBox {
+	return &AckDelayBox{sim: s, policy: p, out: out}
+}
+
+// Send applies the policy delay to a.
+func (b *AckDelayBox) Send(a packet.Ack) {
+	now := b.sim.Now()
+	d := b.policy.Delay(now, a.SackSeq)
+	if d < 0 {
+		d = 0
+	}
+	if d > b.MaxApplied {
+		b.MaxApplied = d
+	}
+	release := now + d
+	if release < b.lastRelease {
+		release = b.lastRelease
+	}
+	b.lastRelease = release
+	b.sim.At(release, func() { b.out(a) })
+}

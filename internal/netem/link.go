@@ -1,0 +1,127 @@
+// Package netem implements the network elements of the paper's model (§3):
+// a shared FIFO bottleneck drained at a constant rate, fixed propagation
+// delay, per-flow bounded non-congestive delay boxes, and loss injectors.
+//
+// Elements are composed with callbacks: each element delivers packets to the
+// next by invoking a handler, and all timing runs on the shared sim clock.
+package netem
+
+import (
+	"math"
+	"time"
+
+	"starvation/internal/packet"
+	"starvation/internal/sim"
+	"starvation/internal/units"
+)
+
+// PacketHandler consumes a data packet from an upstream element.
+type PacketHandler func(p packet.Packet)
+
+// AckHandler consumes an ACK from an upstream element.
+type AckHandler func(a packet.Ack)
+
+// Link is the shared bottleneck: a byte-accurate FIFO queue drained at a
+// constant rate C. Packets arriving when the buffer is full are dropped
+// (drop-tail). A zero BufferBytes means an effectively infinite queue, the
+// ideal-path assumption of Definition 1.
+type Link struct {
+	sim    *sim.Simulator
+	rate   units.Rate
+	buf    int // bytes; 0 = infinite
+	ecn    int // bytes; 0 = simple threshold ECN disabled
+	marker Marker
+	out    PacketHandler
+
+	queuedBytes   int
+	lastDeparture time.Duration
+
+	// Stats.
+	Delivered    int64 // packets delivered
+	Dropped      int64 // packets dropped at the tail
+	Marked       int64 // packets ECN-marked
+	MaxQueue     int   // high-water mark in bytes
+	DropCallback func(p packet.Packet)
+}
+
+// NewLink creates a bottleneck of the given rate and buffer size that
+// delivers departing packets to out.
+func NewLink(s *sim.Simulator, rate units.Rate, bufferBytes int, out PacketHandler) *Link {
+	return &Link{sim: s, rate: rate, buf: bufferBytes, out: out}
+}
+
+// SetECNThreshold enables ECN marking for packets that arrive when the
+// queue holds at least thresholdBytes.
+func (l *Link) SetECNThreshold(thresholdBytes int) { l.ecn = thresholdBytes }
+
+// Rate returns the link's drain rate.
+func (l *Link) Rate() units.Rate { return l.rate }
+
+// QueuedBytes returns the bytes currently waiting or in transmission.
+func (l *Link) QueuedBytes() int { return l.queuedBytes }
+
+// QueueDelay returns the delay a packet arriving now would experience
+// before its own transmission completes (waiting plus serialization of the
+// backlog ahead of it).
+func (l *Link) QueueDelay() time.Duration {
+	if d := l.lastDeparture - l.sim.Now(); d > 0 {
+		return d
+	}
+	return 0
+}
+
+// Prime pre-loads the queue with a virtual backlog that takes delay to
+// drain. The Theorem 1 construction uses this to set the initial queueing
+// delay d*(0). The backlog drains at line rate but is not delivered to any
+// flow.
+func (l *Link) Prime(delay time.Duration) {
+	if delay <= 0 {
+		return
+	}
+	now := l.sim.Now()
+	if l.lastDeparture < now {
+		l.lastDeparture = now
+	}
+	l.lastDeparture += delay
+	b := int(math.Round(float64(l.rate) / 8 * delay.Seconds()))
+	l.queuedBytes += b
+	l.sim.At(l.lastDeparture, func() { l.queuedBytes -= b })
+}
+
+// Enqueue offers a packet to the bottleneck. The packet is either queued
+// for later delivery or dropped.
+func (l *Link) Enqueue(p packet.Packet) {
+	if l.buf > 0 && l.queuedBytes+p.Size > l.buf {
+		l.Dropped++
+		if l.DropCallback != nil {
+			l.DropCallback(p)
+		}
+		return
+	}
+	switch {
+	case l.marker != nil:
+		if l.marker.Mark(l.queuedBytes) {
+			p.ECN = true
+			l.Marked++
+		}
+	case l.ecn > 0 && l.queuedBytes >= l.ecn:
+		p.ECN = true
+		l.Marked++
+	}
+	now := l.sim.Now()
+	if l.lastDeparture < now {
+		l.lastDeparture = now
+	}
+	depart := l.lastDeparture + l.rate.TxTime(p.Size)
+	l.lastDeparture = depart
+	l.queuedBytes += p.Size
+	if l.queuedBytes > l.MaxQueue {
+		l.MaxQueue = l.queuedBytes
+	}
+	pkt := p
+	l.sim.At(depart, func() {
+		l.queuedBytes -= pkt.Size
+		l.Delivered++
+		l.out(pkt)
+	})
+}

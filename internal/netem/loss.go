@@ -1,0 +1,34 @@
+package netem
+
+import (
+	"math/rand"
+
+	"starvation/internal/packet"
+)
+
+// LossGate drops packets with independent probability P (Bernoulli), the
+// random-loss element of §5.4. A nil or zero-probability gate passes
+// everything through.
+type LossGate struct {
+	P   float64
+	Rng *rand.Rand
+	out PacketHandler
+
+	Passed  int64
+	Dropped int64
+}
+
+// NewLossGate returns a loss element feeding out.
+func NewLossGate(p float64, rng *rand.Rand, out PacketHandler) *LossGate {
+	return &LossGate{P: p, Rng: rng, out: out}
+}
+
+// Send passes or drops p.
+func (g *LossGate) Send(p packet.Packet) {
+	if g.P > 0 && g.Rng.Float64() < g.P {
+		g.Dropped++
+		return
+	}
+	g.Passed++
+	g.out(p)
+}

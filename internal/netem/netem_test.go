@@ -1,0 +1,283 @@
+package netem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"starvation/internal/netem/jitter"
+	"starvation/internal/packet"
+	"starvation/internal/sim"
+	"starvation/internal/units"
+)
+
+func TestLinkSerializationTiming(t *testing.T) {
+	s := sim.New(1)
+	var deliveries []time.Duration
+	l := NewLink(s, units.Mbps(12), 0, func(p packet.Packet) {
+		deliveries = append(deliveries, s.Now())
+	})
+	// Three 1500B packets arrive at once: 1ms serialization each.
+	s.At(0, func() {
+		for i := 0; i < 3; i++ {
+			l.Enqueue(packet.Packet{Seq: int64(i * 1500), Size: 1500})
+		}
+	})
+	s.Run(time.Second)
+	want := []time.Duration{time.Millisecond, 2 * time.Millisecond, 3 * time.Millisecond}
+	if len(deliveries) != 3 {
+		t.Fatalf("deliveries = %d, want 3", len(deliveries))
+	}
+	for i := range want {
+		if deliveries[i] != want[i] {
+			t.Errorf("delivery %d at %v, want %v", i, deliveries[i], want[i])
+		}
+	}
+}
+
+func TestLinkIdleRestart(t *testing.T) {
+	s := sim.New(1)
+	var deliveries []time.Duration
+	l := NewLink(s, units.Mbps(12), 0, func(p packet.Packet) {
+		deliveries = append(deliveries, s.Now())
+	})
+	s.At(0, func() { l.Enqueue(packet.Packet{Size: 1500}) })
+	// Second packet arrives after the link went idle: no stale backlog.
+	s.At(10*time.Millisecond, func() { l.Enqueue(packet.Packet{Size: 1500}) })
+	s.Run(time.Second)
+	if deliveries[1] != 11*time.Millisecond {
+		t.Errorf("second delivery at %v, want 11ms (idle restart)", deliveries[1])
+	}
+}
+
+func TestLinkDropTail(t *testing.T) {
+	s := sim.New(1)
+	delivered := 0
+	l := NewLink(s, units.Mbps(12), 3*1500, func(p packet.Packet) { delivered++ })
+	var droppedSeqs []int64
+	l.DropCallback = func(p packet.Packet) { droppedSeqs = append(droppedSeqs, p.Seq) }
+	s.At(0, func() {
+		for i := 0; i < 5; i++ {
+			l.Enqueue(packet.Packet{Seq: int64(i), Size: 1500})
+		}
+	})
+	s.Run(time.Second)
+	if delivered != 3 {
+		t.Errorf("delivered = %d, want 3 (buffer holds 3)", delivered)
+	}
+	if l.Dropped != 2 || len(droppedSeqs) != 2 {
+		t.Errorf("dropped = %d (%v), want 2", l.Dropped, droppedSeqs)
+	}
+	// Drop-tail drops the latest arrivals.
+	if droppedSeqs[0] != 3 || droppedSeqs[1] != 4 {
+		t.Errorf("dropped seqs = %v, want [3 4]", droppedSeqs)
+	}
+}
+
+func TestLinkQueueDepthAccounting(t *testing.T) {
+	s := sim.New(1)
+	l := NewLink(s, units.Mbps(12), 0, func(p packet.Packet) {})
+	s.At(0, func() {
+		for i := 0; i < 4; i++ {
+			l.Enqueue(packet.Packet{Size: 1500})
+		}
+		if l.QueuedBytes() != 6000 {
+			t.Errorf("QueuedBytes = %d, want 6000", l.QueuedBytes())
+		}
+		if l.QueueDelay() != 4*time.Millisecond {
+			t.Errorf("QueueDelay = %v, want 4ms", l.QueueDelay())
+		}
+	})
+	s.At(2500*time.Microsecond, func() {
+		if l.QueuedBytes() != 3000 {
+			t.Errorf("QueuedBytes mid-drain = %d, want 3000", l.QueuedBytes())
+		}
+	})
+	s.Run(time.Second)
+	if l.QueuedBytes() != 0 {
+		t.Errorf("QueuedBytes after drain = %d, want 0", l.QueuedBytes())
+	}
+	if l.MaxQueue != 6000 {
+		t.Errorf("MaxQueue = %d, want 6000", l.MaxQueue)
+	}
+}
+
+func TestLinkPrime(t *testing.T) {
+	s := sim.New(1)
+	var firstDelivery time.Duration
+	l := NewLink(s, units.Mbps(12), 0, func(p packet.Packet) {
+		if firstDelivery == 0 {
+			firstDelivery = s.Now()
+		}
+	})
+	s.At(0, func() {
+		l.Prime(10 * time.Millisecond)
+		l.Enqueue(packet.Packet{Size: 1500})
+	})
+	s.Run(time.Second)
+	// The primed backlog delays the packet by 10ms plus its own 1ms.
+	if firstDelivery != 11*time.Millisecond {
+		t.Errorf("first delivery at %v, want 11ms", firstDelivery)
+	}
+}
+
+func TestLinkECNMarking(t *testing.T) {
+	s := sim.New(1)
+	var marked, unmarked int
+	l := NewLink(s, units.Mbps(12), 0, func(p packet.Packet) {
+		if p.ECN {
+			marked++
+		} else {
+			unmarked++
+		}
+	})
+	l.SetECNThreshold(3000)
+	s.At(0, func() {
+		for i := 0; i < 5; i++ {
+			l.Enqueue(packet.Packet{Size: 1500})
+		}
+	})
+	s.Run(time.Second)
+	// Packets 0,1 arrive below threshold; 2,3,4 at or above.
+	if unmarked != 2 || marked != 3 {
+		t.Errorf("marked=%d unmarked=%d, want 3/2", marked, unmarked)
+	}
+}
+
+func TestDelayBoxNoReorder(t *testing.T) {
+	s := sim.New(1)
+	rng := rand.New(rand.NewSource(7))
+	var seqs []int64
+	box := NewDelayBox(s, &jitter.Uniform{Max: 20 * time.Millisecond, Rng: rng},
+		func(p packet.Packet) { seqs = append(seqs, p.Seq) })
+	for i := 0; i < 200; i++ {
+		i := i
+		s.At(time.Duration(i)*time.Millisecond, func() {
+			box.Send(packet.Packet{Seq: int64(i)})
+		})
+	}
+	s.Run(time.Minute)
+	if len(seqs) != 200 {
+		t.Fatalf("delivered %d, want 200", len(seqs))
+	}
+	for i := 1; i < len(seqs); i++ {
+		if seqs[i] < seqs[i-1] {
+			t.Fatalf("reordering: %d before %d", seqs[i-1], seqs[i])
+		}
+	}
+	if box.MaxApplied > 20*time.Millisecond {
+		t.Errorf("MaxApplied = %v exceeds bound", box.MaxApplied)
+	}
+}
+
+func TestAckDelayBoxNoReorder(t *testing.T) {
+	s := sim.New(1)
+	rng := rand.New(rand.NewSource(9))
+	var order []int64
+	box := NewAckDelayBox(s, &jitter.Uniform{Max: 15 * time.Millisecond, Rng: rng},
+		func(a packet.Ack) { order = append(order, a.SackSeq) })
+	for i := 0; i < 100; i++ {
+		i := i
+		s.At(time.Duration(i)*time.Millisecond, func() {
+			box.Send(packet.Ack{SackSeq: int64(i)})
+		})
+	}
+	s.Run(time.Minute)
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			t.Fatalf("ACK reordering at %d", i)
+		}
+	}
+}
+
+func TestPropagation(t *testing.T) {
+	s := sim.New(1)
+	var at time.Duration
+	pr := NewPropagation(s, 40*time.Millisecond, func(p packet.Packet) { at = s.Now() })
+	s.At(time.Millisecond, func() { pr.Send(packet.Packet{}) })
+	s.Run(time.Second)
+	if at != 41*time.Millisecond {
+		t.Errorf("delivered at %v, want 41ms", at)
+	}
+}
+
+func TestLossGate(t *testing.T) {
+	s := sim.New(1)
+	passed := 0
+	g := NewLossGate(0.5, rand.New(rand.NewSource(3)), func(p packet.Packet) { passed++ })
+	_ = s
+	const n = 10000
+	for i := 0; i < n; i++ {
+		g.Send(packet.Packet{Seq: int64(i)})
+	}
+	frac := float64(g.Dropped) / n
+	if frac < 0.45 || frac > 0.55 {
+		t.Errorf("drop fraction = %.3f, want ~0.5", frac)
+	}
+	if g.Passed != int64(passed) || g.Passed+g.Dropped != n {
+		t.Errorf("accounting mismatch: passed=%d dropped=%d", g.Passed, g.Dropped)
+	}
+}
+
+func TestLossGateZeroProb(t *testing.T) {
+	g := NewLossGate(0, rand.New(rand.NewSource(1)), func(p packet.Packet) {})
+	for i := 0; i < 100; i++ {
+		g.Send(packet.Packet{})
+	}
+	if g.Dropped != 0 {
+		t.Errorf("zero-probability gate dropped %d", g.Dropped)
+	}
+}
+
+// Property: the link conserves packets — delivered + dropped = enqueued —
+// and never exceeds its buffer.
+func TestQuickLinkConservation(t *testing.T) {
+	f := func(seed int64, bufPkts uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := sim.New(seed)
+		buf := (int(bufPkts%16) + 1) * 1500
+		delivered := 0
+		l := NewLink(s, units.Mbps(10), buf, func(p packet.Packet) { delivered++ })
+		n := rng.Intn(300) + 1
+		for i := 0; i < n; i++ {
+			at := time.Duration(rng.Intn(100)) * time.Millisecond
+			s.At(at, func() { l.Enqueue(packet.Packet{Size: 1500}) })
+		}
+		s.Run(time.Minute)
+		if delivered+int(l.Dropped) != n {
+			return false
+		}
+		return l.MaxQueue <= buf
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the link is FIFO for any arrival pattern.
+func TestQuickLinkFIFO(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := sim.New(seed)
+		var got []int64
+		l := NewLink(s, units.Mbps(5), 0, func(p packet.Packet) { got = append(got, p.Seq) })
+		at := time.Duration(0)
+		for i := 0; i < 100; i++ {
+			at += time.Duration(rng.Intn(3)) * time.Millisecond
+			seq := int64(i)
+			t := at
+			s.At(t, func() { l.Enqueue(packet.Packet{Seq: seq, Size: 1500}) })
+		}
+		s.Run(time.Minute)
+		for i := 1; i < len(got); i++ {
+			if got[i] < got[i-1] {
+				return false
+			}
+		}
+		return len(got) == 100
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

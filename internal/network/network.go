@@ -1,0 +1,210 @@
+// Package network assembles the paper's topology (§3): per-flow senders
+// feeding one shared FIFO bottleneck, followed by per-flow propagation
+// delay and a per-flow bounded non-congestive delay element, then the
+// receiver, whose ACKs return through an optional ACK-path delay element.
+// It also runs the simulation and collects per-flow traces and statistics.
+package network
+
+import (
+	"fmt"
+	"time"
+
+	"starvation/internal/cca"
+	"starvation/internal/endpoint"
+	"starvation/internal/netem"
+	"starvation/internal/netem/jitter"
+	"starvation/internal/packet"
+	"starvation/internal/sim"
+	"starvation/internal/trace"
+	"starvation/internal/units"
+)
+
+// FlowSpec describes one flow of a scenario.
+type FlowSpec struct {
+	// Name labels the flow in results (defaults to "flowN").
+	Name string
+	// Alg is the flow's congestion control algorithm (required).
+	Alg cca.Algorithm
+	// Rm is the flow's minimum propagation RTT (required, > 0).
+	Rm time.Duration
+	// FwdJitter is the non-congestive delay policy on the data path
+	// (defaults to jitter.None).
+	FwdJitter jitter.Policy
+	// AckJitter is the non-congestive delay policy on the ACK path.
+	AckJitter jitter.Policy
+	// Ack selects the receiver's acknowledgment policy.
+	Ack endpoint.AckConfig
+	// LossProb is the probability of independent random loss on the data
+	// path (the §5.4 element).
+	LossProb float64
+	// MSS is the segment size (defaults to endpoint.DefaultMSS).
+	MSS int
+	// StartAt delays the flow's first transmission.
+	StartAt time.Duration
+}
+
+// Config describes the shared bottleneck and run parameters.
+type Config struct {
+	// Rate is the bottleneck link rate C (required).
+	Rate units.Rate
+	// BufferBytes is the drop-tail buffer size; 0 means effectively
+	// infinite (the ideal-path queue of Definition 1).
+	BufferBytes int
+	// ECNThresholdBytes enables ECN marking above this queue depth.
+	ECNThresholdBytes int
+	// Marker installs an AQM policy (overrides ECNThresholdBytes).
+	Marker netem.Marker
+	// Seed feeds all randomness in the run.
+	Seed int64
+	// SampleEvery is the trace sampling interval (default 100 ms).
+	SampleEvery time.Duration
+}
+
+// Flow is the instantiated per-flow pipeline with its traces.
+type Flow struct {
+	Spec     FlowSpec
+	ID       packet.FlowID
+	Sender   *endpoint.Sender
+	Receiver *endpoint.Receiver
+	FwdBox   *netem.DelayBox
+	AckBox   *netem.AckDelayBox
+
+	RTTTrace  trace.Series // RTT seconds vs time
+	RateTrace trace.Series // windowed throughput (bit/s) vs time
+	CwndTrace trace.Series // cwnd bytes vs time
+
+	lastSampledAcked int64
+}
+
+// Network is a fully wired scenario ready to run.
+type Network struct {
+	Sim   *sim.Simulator
+	Link  *netem.Link
+	Flows []*Flow
+	cfg   Config
+
+	QueueTrace trace.Series // queue depth bytes vs time
+}
+
+// New assembles the topology. It panics on invalid specs (missing CCA or
+// Rm): these are programming errors in scenario definitions, not runtime
+// conditions.
+func New(cfg Config, specs ...FlowSpec) *Network {
+	if cfg.Rate <= 0 {
+		panic("network: bottleneck rate must be positive")
+	}
+	if cfg.SampleEvery <= 0 {
+		cfg.SampleEvery = 100 * time.Millisecond
+	}
+	s := sim.New(cfg.Seed)
+	n := &Network{Sim: s, cfg: cfg}
+
+	// The link dispatches delivered packets to the owning flow's
+	// propagation stage.
+	n.Link = netem.NewLink(s, cfg.Rate, cfg.BufferBytes, func(p packet.Packet) {
+		n.Flows[p.Flow].afterLink(p)
+	})
+	if cfg.ECNThresholdBytes > 0 {
+		n.Link.SetECNThreshold(cfg.ECNThresholdBytes)
+	}
+	if cfg.Marker != nil {
+		n.Link.SetMarker(cfg.Marker)
+	}
+
+	for i, spec := range specs {
+		if spec.Alg == nil {
+			panic(fmt.Sprintf("network: flow %d has no CCA", i))
+		}
+		if spec.Rm <= 0 {
+			panic(fmt.Sprintf("network: flow %d has no Rm", i))
+		}
+		if spec.Name == "" {
+			spec.Name = fmt.Sprintf("flow%d", i)
+		}
+		if spec.MSS <= 0 {
+			spec.MSS = endpoint.DefaultMSS
+		}
+		if spec.FwdJitter == nil {
+			spec.FwdJitter = jitter.None{}
+		}
+		if spec.AckJitter == nil {
+			spec.AckJitter = jitter.None{}
+		}
+		f := &Flow{Spec: spec, ID: packet.FlowID(i)}
+		f.RTTTrace.Name = spec.Name + "_rtt_s"
+		f.RateTrace.Name = spec.Name + "_rate_bps"
+		f.CwndTrace.Name = spec.Name + "_cwnd_bytes"
+
+		// Reverse path: ack jitter box -> sender.
+		f.AckBox = netem.NewAckDelayBox(s, spec.AckJitter, func(a packet.Ack) {
+			f.Sender.OnAck(a)
+		})
+		// Receiver feeds the ack box.
+		f.Receiver = endpoint.NewReceiver(s, f.ID, spec.Ack, f.AckBox.Send)
+		// Forward path tail: jitter box -> receiver.
+		f.FwdBox = netem.NewDelayBox(s, spec.FwdJitter, f.Receiver.OnPacket)
+
+		// Forward path head: sender -> loss gate -> link.
+		var intoLink netem.PacketHandler = n.Link.Enqueue
+		if spec.LossProb > 0 {
+			// Each gate gets an independent generator derived from the
+			// run seed so adding flows never perturbs other flows' loss.
+			gateRng := newDerivedRand(cfg.Seed, i)
+			gate := netem.NewLossGate(spec.LossProb, gateRng, n.Link.Enqueue)
+			intoLink = gate.Send
+		}
+		f.Sender = endpoint.NewSender(s, f.ID, spec.Alg, spec.MSS, intoLink)
+		f.Sender.AckTraceHook = func(now, rtt time.Duration, acked int) {
+			if rtt > 0 {
+				f.RTTTrace.Add(now, rtt.Seconds())
+			}
+		}
+		n.Flows = append(n.Flows, f)
+	}
+	return n
+}
+
+// afterLink routes a packet leaving the bottleneck through the flow's
+// propagation delay and jitter box.
+func (f *Flow) afterLink(p packet.Packet) {
+	// Propagation then jitter; order is immaterial for delays, and doing
+	// propagation inline avoids an extra element allocation per flow.
+	f.FwdBox.SendAfter(p, f.Spec.Rm)
+}
+
+// Run executes the scenario for the given duration and returns results.
+// The steady-state window for per-flow statistics is the second half of the
+// run; use RunWindow to control it.
+func (n *Network) Run(d time.Duration) *Result {
+	return n.RunWindow(d, d/2, d)
+}
+
+// RunWindow executes the scenario for duration d, computing steady-state
+// statistics over [from, to).
+func (n *Network) RunWindow(d, from, to time.Duration) *Result {
+	for _, f := range n.Flows {
+		fl := f
+		n.Sim.At(fl.Spec.StartAt, fl.Sender.Start)
+	}
+	n.sample() // also schedules itself
+	n.Sim.Run(d)
+	return n.collect(d, from, to)
+}
+
+func (n *Network) sample() {
+	now := n.Sim.Now()
+	n.QueueTrace.Add(now, float64(n.Link.QueuedBytes()))
+	for _, f := range n.Flows {
+		acked := f.Sender.DeliveredBytes
+		delta := acked - f.lastSampledAcked
+		f.lastSampledAcked = acked
+		rate := units.RateFromBytes(int(delta), n.cfg.SampleEvery)
+		f.RateTrace.Add(now, float64(rate))
+		f.CwndTrace.Add(now, float64(f.Sender.Algorithm().Window()))
+	}
+	n.Sim.After(n.cfg.SampleEvery, n.sample)
+}
+
+func newDerivedRand(seed int64, flow int) *randSource {
+	return newRandSource(seed*1000003 + int64(flow)*7919 + 17)
+}

@@ -1,0 +1,50 @@
+package network
+
+import (
+	"testing"
+	"time"
+
+	"starvation/internal/cca/vegas"
+	"starvation/internal/units"
+)
+
+// BenchmarkEmulatedSecond measures end-to-end emulator speed: how much
+// wall-clock time one simulated second of a loaded two-flow path costs.
+// The figure-regeneration harness simulates tens of minutes of virtual
+// time; this bench is its unit cost.
+func BenchmarkEmulatedSecond(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		n := New(
+			Config{Rate: units.Mbps(100), Seed: 1},
+			FlowSpec{Alg: vegas.New(vegas.Config{}), Rm: 50 * time.Millisecond},
+			FlowSpec{Alg: vegas.New(vegas.Config{}), Rm: 50 * time.Millisecond},
+		)
+		res := n.Run(time.Second)
+		pkts := float64(res.Delivered)
+		b.ReportMetric(pkts, "pkts/simsec")
+	}
+}
+
+// BenchmarkPacketRate measures raw packet-forwarding throughput of the
+// assembled path (sender → queue → propagation → jitter → receiver → ack).
+func BenchmarkPacketRate(b *testing.B) {
+	n := New(
+		Config{Rate: units.Gbps(1), Seed: 1},
+		FlowSpec{Alg: vegas.New(vegas.Config{}), Rm: 10 * time.Millisecond},
+	)
+	for _, f := range n.Flows {
+		n.Sim.At(f.Spec.StartAt, f.Sender.Start)
+	}
+	// Warm to steady state.
+	n.Sim.Run(2 * time.Second)
+	start := n.Link.Delivered
+	b.ResetTimer()
+	b.ReportAllocs()
+	target := 2*time.Second + time.Duration(b.N)*time.Millisecond
+	n.Sim.Run(target)
+	b.StopTimer()
+	if n.Link.Delivered == start && b.N > 1000 {
+		b.Fatal("no packets flowed")
+	}
+}

@@ -1,0 +1,141 @@
+package network
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"starvation/internal/metrics"
+	"starvation/internal/trace"
+	"starvation/internal/units"
+)
+
+// randSource is a thin alias so network.go reads cleanly.
+type randSource = rand.Rand
+
+func newRandSource(seed int64) *randSource { return rand.New(rand.NewSource(seed)) }
+
+// FlowResult is the per-flow outcome of a run.
+type FlowResult struct {
+	Name string
+	Stat metrics.FlowStat
+	RTT  *trace.Series
+	Rate *trace.Series
+	Cwnd *trace.Series
+}
+
+// Result is the outcome of a scenario run.
+type Result struct {
+	Duration   time.Duration
+	WindowFrom time.Duration
+	WindowTo   time.Duration
+	Flows      []FlowResult
+	QueueTrace *trace.Series
+	LinkRate   units.Rate
+	Dropped    int64
+	Delivered  int64
+	MaxQueue   int
+}
+
+func (n *Network) collect(d, from, to time.Duration) *Result {
+	res := &Result{
+		Duration:   d,
+		WindowFrom: from,
+		WindowTo:   to,
+		QueueTrace: &n.QueueTrace,
+		LinkRate:   n.cfg.Rate,
+		Dropped:    n.Link.Dropped,
+		Delivered:  n.Link.Delivered,
+		MaxQueue:   n.Link.MaxQueue,
+	}
+	for _, f := range n.Flows {
+		st := metrics.FlowStat{
+			Name:       f.Spec.Name,
+			AckedBytes: f.Sender.AckedBytes,
+			SentBytes:  f.Sender.SentBytes,
+			RetxBytes:  f.Sender.RetxBytes,
+			LossEvents: f.Sender.LossEvents,
+			Timeouts:   f.Sender.Timeouts,
+			Throughput: f.Sender.Throughput(d),
+		}
+		if lo, hi, ok := f.RTTTrace.MinMax(0, d); ok {
+			st.MinRTT = secToDur(lo)
+			st.MaxRTT = secToDur(hi)
+		}
+		if m, ok := f.RTTTrace.Mean(0, d); ok {
+			st.MeanRTT = secToDur(m)
+		}
+		if lo, hi, ok := f.RTTTrace.MinMax(from, to); ok {
+			st.SteadyRTTLo = secToDur(lo)
+			st.SteadyRTTHi = secToDur(hi)
+		}
+		st.SteadyThpt = windowThroughput(&f.RateTrace, from, to)
+		res.Flows = append(res.Flows, FlowResult{
+			Name: f.Spec.Name,
+			Stat: st,
+			RTT:  &f.RTTTrace,
+			Rate: &f.RateTrace,
+			Cwnd: &f.CwndTrace,
+		})
+	}
+	return res
+}
+
+func windowThroughput(rate *trace.Series, from, to time.Duration) units.Rate {
+	if m, ok := rate.Mean(from, to); ok {
+		return units.Rate(m)
+	}
+	return 0
+}
+
+func secToDur(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}
+
+// Throughputs returns the steady-state throughputs of all flows in bit/s.
+func (r *Result) Throughputs() []float64 {
+	out := make([]float64, len(r.Flows))
+	for i, f := range r.Flows {
+		out[i] = float64(f.Stat.SteadyThpt)
+	}
+	return out
+}
+
+// Ratio returns the steady-state throughput ratio (fast over slow flow).
+func (r *Result) Ratio() float64 { return metrics.Ratio(r.Throughputs()) }
+
+// Jain returns Jain's fairness index over steady-state throughputs.
+func (r *Result) Jain() float64 { return metrics.JainIndex(r.Throughputs()) }
+
+// Utilization returns delivered fraction of capacity over the steady
+// window.
+func (r *Result) Utilization() float64 {
+	var sum float64
+	for _, x := range r.Throughputs() {
+		sum += x
+	}
+	if r.LinkRate <= 0 {
+		return 0
+	}
+	return sum / float64(r.LinkRate)
+}
+
+// String renders a compact result table.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "link %v  run %v  window [%v, %v)  drops %d  maxqueue %dB\n",
+		r.LinkRate, r.Duration, r.WindowFrom, r.WindowTo, r.Dropped, r.MaxQueue)
+	fmt.Fprintf(&b, "%-12s %14s %14s %10s %10s %10s %8s\n",
+		"flow", "thpt(steady)", "thpt(def2)", "rtt_min", "rtt_max", "rtt_mean", "losses")
+	for _, f := range r.Flows {
+		fmt.Fprintf(&b, "%-12s %14s %14s %10s %10s %10s %8d\n",
+			f.Name, f.Stat.SteadyThpt, f.Stat.Throughput,
+			f.Stat.MinRTT.Round(time.Microsecond),
+			f.Stat.MaxRTT.Round(time.Microsecond),
+			f.Stat.MeanRTT.Round(time.Microsecond),
+			f.Stat.LossEvents)
+	}
+	fmt.Fprintf(&b, "ratio %.2f  jain %.3f  utilization %.3f\n", r.Ratio(), r.Jain(), r.Utilization())
+	return b.String()
+}

@@ -1,0 +1,100 @@
+package scenario
+
+import (
+	"math/rand"
+	"time"
+
+	"starvation/internal/cca/allegro"
+	"starvation/internal/network"
+	"starvation/internal/units"
+)
+
+const (
+	allegroRate = 120 // Mbit/s
+	allegroRm   = 40 * time.Millisecond
+)
+
+// allegroBDP is the 1-BDP buffer of §5.4 in bytes.
+func allegroBDP() int {
+	return units.BDPBytes(units.Mbps(allegroRate), allegroRm)
+}
+
+func allegroFlow(name string, seed int64, loss float64) network.FlowSpec {
+	return network.FlowSpec{
+		Name:     name,
+		Alg:      allegro.New(allegro.Config{Rng: rand.New(rand.NewSource(seed))}),
+		Rm:       allegroRm,
+		LossProb: loss,
+	}
+}
+
+// AllegroRandomLoss reproduces §5.4's headline case: two PCC Allegro flows
+// on a 120 Mbit/s, 40 ms, 1-BDP-buffer path; one flow sees 2% random loss.
+// The paper measured 10.3 vs 99.1 Mbit/s — although Allegro is "supposed to
+// be resilient to up to 5% loss".
+func AllegroRandomLoss(o Opts) *Result {
+	o.fill(60 * time.Second)
+	n := network.New(
+		network.Config{Rate: units.Mbps(allegroRate), BufferBytes: allegroBDP(), Seed: o.Seed},
+		allegroFlow("lossy", o.Seed*13+1, 0.02),
+		allegroFlow("clean", o.Seed*13+2, 0),
+	)
+	res := n.Run(o.Duration)
+	return &Result{
+		ID:          "T5.4a",
+		Description: "Allegro two flows, 120 Mbit/s, Rm=40ms, 1 BDP buffer, 2% loss on one",
+		PaperClaim:  "10.3 vs 99.1 Mbit/s (ratio ~10)",
+		Net:         res,
+		Observables: map[string]float64{
+			"lossy_mbps": res.Flows[0].Stat.SteadyThpt.Mbit(),
+			"clean_mbps": res.Flows[1].Stat.SteadyThpt.Mbit(),
+			"ratio":      res.Ratio(),
+		},
+	}
+}
+
+// AllegroBothLossy is §5.4's control: with both flows at 2% loss "they
+// shared the link fairly and efficiently".
+func AllegroBothLossy(o Opts) *Result {
+	o.fill(60 * time.Second)
+	n := network.New(
+		network.Config{Rate: units.Mbps(allegroRate), BufferBytes: allegroBDP(), Seed: o.Seed},
+		allegroFlow("lossy0", o.Seed*13+1, 0.02),
+		allegroFlow("lossy1", o.Seed*13+2, 0.02),
+	)
+	res := n.Run(o.Duration)
+	return &Result{
+		ID:          "T5.4b",
+		Description: "Allegro two flows, both at 2% random loss (control)",
+		PaperClaim:  "fair and efficient sharing",
+		Net:         res,
+		Observables: map[string]float64{
+			"flow0_mbps":  res.Flows[0].Stat.SteadyThpt.Mbit(),
+			"flow1_mbps":  res.Flows[1].Stat.SteadyThpt.Mbit(),
+			"ratio":       res.Ratio(),
+			"jain":        res.Jain(),
+			"utilization": res.Utilization(),
+		},
+	}
+}
+
+// AllegroSingleLossy is §5.4's second control: a single flow with 2% loss
+// "was able to fully utilize the link capacity".
+func AllegroSingleLossy(o Opts) *Result {
+	o.fill(60 * time.Second)
+	n := network.New(
+		network.Config{Rate: units.Mbps(allegroRate), BufferBytes: allegroBDP(), Seed: o.Seed},
+		allegroFlow("lossy", o.Seed*13+1, 0.02),
+	)
+	res := n.Run(o.Duration)
+	return &Result{
+		ID:          "T5.4c",
+		Description: "Allegro single flow with 2% random loss (control)",
+		PaperClaim:  "full link utilization",
+		Net:         res,
+		Observables: map[string]float64{
+			"throughput_mbps": res.Flows[0].Stat.SteadyThpt.Mbit(),
+			"utilization":     res.Utilization(),
+		},
+	}
+}

@@ -1,0 +1,58 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSeedRobustness verifies the qualitative claims across several seeds:
+// the starved side must be the same in the clear majority of realizations
+// (starvation dynamics are chaotic — the paper's testbed runs varied too,
+// which is why the reference seed is documented). Skipped with -short.
+func TestSeedRobustness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seed sweep is slow")
+	}
+	type check struct {
+		name    string
+		starved string // observable key of the flow that must lose
+		winner  string
+		run     func(Opts) *Result
+	}
+	checks := []check{
+		{"bbr-two", "rtt40_mbps", "rtt80_mbps", BBRTwoFlowRTT},
+		{"vivace-ackagg", "quantized_mbps", "clean_mbps", VivaceAckAggregation},
+		{"allegro-loss", "lossy_mbps", "clean_mbps", AllegroRandomLoss},
+		{"copa-two", "poisoned_mbps", "clean_mbps", CopaTwoFlowPoison},
+	}
+	seeds := []int64{2, 3, 4, 5, 6}
+	for _, c := range checks {
+		wins := 0
+		for _, seed := range seeds {
+			r := c.run(Opts{Seed: seed, Duration: 40 * time.Second})
+			if r.Observables[c.starved] < r.Observables[c.winner] {
+				wins++
+			}
+		}
+		t.Logf("%s: expected loser lost in %d/%d seeds", c.name, wins, len(seeds))
+		if wins < len(seeds)-1 {
+			t.Errorf("%s: expected starved side lost in only %d/%d realizations",
+				c.name, wins, len(seeds))
+		}
+	}
+}
+
+// TestAlgo1FairAcrossSeeds: the s-fairness guarantee of Algorithm 1 is a
+// worst-case bound, so unlike the starvation demos it must hold in every
+// realization.
+func TestAlgo1FairAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seed sweep is slow")
+	}
+	for _, seed := range []int64{2, 3, 4, 5, 6} {
+		r := Algo1Fairness(Opts{Seed: seed, Duration: 60 * time.Second})
+		if ratio := r.Observables["ratio"]; ratio > 2.5 {
+			t.Errorf("seed %d: ratio %.2f exceeds s=2 (+ tolerance)", seed, ratio)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+// Package scenario packages the paper's empirical experiments (§5 and
+// Fig. 7) with their published parameters, so the CLI, the examples, and
+// the benchmark harness all run exactly the same configurations.
+//
+// Each scenario returns a Result carrying the raw network run plus the
+// named observables the paper reports, and records the paper's measured
+// values for side-by-side comparison in EXPERIMENTS.md.
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"starvation/internal/network"
+)
+
+// Result is one scenario outcome.
+type Result struct {
+	// ID matches the per-experiment index in DESIGN.md (e.g. "T5.1a").
+	ID string
+	// Description says what ran.
+	Description string
+	// PaperClaim quotes the paper's measured numbers for this experiment.
+	PaperClaim string
+	// Net is the underlying emulation result (nil for closed-form rows).
+	Net *network.Result
+	// Observables holds the named quantities the paper reports, in the
+	// units noted in the key (e.g. "flow0_mbps").
+	Observables map[string]float64
+}
+
+// String renders the result with observables sorted by name.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "[%s] %s\n  paper: %s\n", r.ID, r.Description, r.PaperClaim)
+	keys := make([]string, 0, len(r.Observables))
+	for k := range r.Observables {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "  %-24s %10.3f\n", k, r.Observables[k])
+	}
+	if r.Net != nil {
+		b.WriteString(indent(r.Net.String(), "  "))
+	}
+	return b.String()
+}
+
+func indent(s, pad string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i := range lines {
+		lines[i] = pad + lines[i]
+	}
+	return strings.Join(lines, "\n") + "\n"
+}
+
+// Opts tunes scenario runs without changing their published topology.
+type Opts struct {
+	// Seed for all randomness. The default (2) is the reference
+	// realization reported in EXPERIMENTS.md; starvation dynamics are
+	// chaotic, and as in the paper's own testbed runs, individual
+	// realizations vary (a seed sweep is part of the test suite).
+	Seed int64
+	// Duration overrides the run length (default per scenario).
+	Duration time.Duration
+}
+
+func (o *Opts) fill(defaultDur time.Duration) {
+	if o.Seed == 0 {
+		o.Seed = 2
+	}
+	if o.Duration <= 0 {
+		o.Duration = defaultDur
+	}
+}
+
+// Registry lists all scenarios by ID for the CLI.
+var Registry = map[string]func(Opts) *Result{
+	"copa-single":      CopaSingleFlowPoison,
+	"copa-two":         CopaTwoFlowPoison,
+	"bbr-two":          BBRTwoFlowRTT,
+	"vivace-ackagg":    VivaceAckAggregation,
+	"allegro-loss":     AllegroRandomLoss,
+	"allegro-both":     AllegroBothLossy,
+	"allegro-single":   AllegroSingleLossy,
+	"fig7-reno":        Fig7Reno,
+	"fig7-cubic":       Fig7Cubic,
+	"algo1-fair":       Algo1Fairness,
+	"vegas-jitter":     VegasUnderJitter,
+	"quickstart-vegas": QuickstartVegas,
+	"ecn-fairness":     ECNAvoidsStarvation,
+	"algo1-ablation":   Algo1Ablation,
+}
+
+// Names returns the scenario IDs sorted.
+func Names() []string {
+	out := make([]string, 0, len(Registry))
+	for k := range Registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

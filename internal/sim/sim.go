@@ -1,0 +1,168 @@
+// Package sim implements a deterministic discrete-event simulation engine.
+//
+// The engine is the substrate for the link emulator: every network element
+// (bottleneck queue, delay boxes, endpoints) schedules callbacks on a shared
+// virtual clock. Events with equal timestamps fire in scheduling order, so a
+// run is a pure function of the scenario configuration and its RNG seeds.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is virtual time since the start of the simulation.
+type Time = time.Duration
+
+// Event is a scheduled callback.
+type event struct {
+	at   Time
+	seq  uint64 // tie-break: FIFO among equal timestamps
+	fn   func()
+	dead bool
+	idx  int
+}
+
+// Handle identifies a scheduled event so it can be cancelled.
+type Handle struct{ ev *event }
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (h Handle) Cancel() {
+	if h.ev != nil {
+		h.ev.dead = true
+	}
+}
+
+// Pending reports whether the event is still scheduled to fire.
+func (h Handle) Pending() bool { return h.ev != nil && !h.ev.dead && h.ev.idx >= 0 }
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.idx = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.idx = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Simulator owns the virtual clock and the event queue.
+type Simulator struct {
+	now    Time
+	queue  eventHeap
+	seq    uint64
+	fired  uint64
+	rng    *rand.Rand
+	halted bool
+}
+
+// New returns a simulator whose RNG is seeded with seed. All stochastic
+// behaviour in a scenario must draw from Rand() (or from generators derived
+// from it) so runs are reproducible.
+func New(seed int64) *Simulator {
+	return &Simulator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Rand returns the simulation's deterministic random source.
+func (s *Simulator) Rand() *rand.Rand { return s.rng }
+
+// Events returns the number of events fired so far (useful for benchmarks).
+func (s *Simulator) Events() uint64 { return s.fired }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: that is always a logic error in a network element.
+func (s *Simulator) At(t Time, fn func()) Handle {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	ev := &event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, ev)
+	return Handle{ev}
+}
+
+// After schedules fn to run d after the current virtual time.
+func (s *Simulator) After(d time.Duration, fn func()) Handle {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Halt stops the run loop after the current event returns.
+func (s *Simulator) Halt() { s.halted = true }
+
+// Run executes events until the queue is empty, the horizon is reached, or
+// Halt is called. The clock is left at the later of its current value and
+// the horizon (when the horizon terminated the run).
+func (s *Simulator) Run(horizon Time) {
+	s.halted = false
+	for len(s.queue) > 0 && !s.halted {
+		ev := s.queue[0]
+		if ev.at > horizon {
+			break
+		}
+		heap.Pop(&s.queue)
+		if ev.dead {
+			continue
+		}
+		s.now = ev.at
+		s.fired++
+		ev.fn()
+	}
+	if s.now < horizon {
+		s.now = horizon
+	}
+}
+
+// Step executes exactly one pending event (skipping cancelled ones) and
+// reports whether an event fired.
+func (s *Simulator) Step() bool {
+	for len(s.queue) > 0 {
+		ev := heap.Pop(&s.queue).(*event)
+		if ev.dead {
+			continue
+		}
+		s.now = ev.at
+		s.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Pending returns the number of live events in the queue.
+func (s *Simulator) Pending() int {
+	n := 0
+	for _, ev := range s.queue {
+		if !ev.dead {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,52 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkScheduleAndFire measures raw event-loop throughput: one
+// schedule + one dispatch per operation.
+func BenchmarkScheduleAndFire(b *testing.B) {
+	s := New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.After(time.Microsecond, func() {})
+		s.Step()
+	}
+}
+
+// BenchmarkDeepQueue measures heap behaviour with many pending events.
+func BenchmarkDeepQueue(b *testing.B) {
+	s := New(1)
+	const depth = 10000
+	for i := 0; i < depth; i++ {
+		s.At(time.Duration(i)*time.Millisecond, func() {})
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.At(time.Duration(depth+i)*time.Millisecond, func() {})
+		s.Step()
+	}
+}
+
+// BenchmarkSelfScheduling measures the common element pattern: each event
+// schedules its successor (timers, pacing wheels).
+func BenchmarkSelfScheduling(b *testing.B) {
+	s := New(1)
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		if n < b.N {
+			s.After(100*time.Microsecond, tick)
+		}
+	}
+	b.ReportAllocs()
+	s.After(0, tick)
+	s.Run(time.Duration(b.N+1) * time.Millisecond)
+	if n < b.N {
+		b.Fatalf("ticked %d, want %d", n, b.N)
+	}
+}

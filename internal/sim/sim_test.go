@@ -1,0 +1,259 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := New(1)
+	var got []int
+	s.At(30*time.Millisecond, func() { got = append(got, 3) })
+	s.At(10*time.Millisecond, func() { got = append(got, 1) })
+	s.At(20*time.Millisecond, func() { got = append(got, 2) })
+	s.Run(time.Second)
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEqualTimestampsFIFO(t *testing.T) {
+	s := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(time.Millisecond, func() { got = append(got, i) })
+	}
+	s.Run(time.Second)
+	if !sort.IntsAreSorted(got) {
+		t.Errorf("equal-timestamp events fired out of scheduling order: %v", got)
+	}
+}
+
+func TestAfterRelativeToNow(t *testing.T) {
+	s := New(1)
+	var at Time
+	s.At(5*time.Millisecond, func() {
+		s.After(3*time.Millisecond, func() { at = s.Now() })
+	})
+	s.Run(time.Second)
+	if at != 8*time.Millisecond {
+		t.Errorf("After fired at %v, want 8ms", at)
+	}
+}
+
+func TestNegativeAfterClamps(t *testing.T) {
+	s := New(1)
+	fired := false
+	s.After(-time.Second, func() { fired = true })
+	s.Run(time.Millisecond)
+	if !fired {
+		t.Error("negative After never fired")
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	s := New(1)
+	s.At(10*time.Millisecond, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		s.At(5*time.Millisecond, func() {})
+	})
+	s.Run(time.Second)
+}
+
+func TestCancel(t *testing.T) {
+	s := New(1)
+	fired := false
+	h := s.At(10*time.Millisecond, func() { fired = true })
+	if !h.Pending() {
+		t.Error("handle should be pending before firing")
+	}
+	h.Cancel()
+	s.Run(time.Second)
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	if h.Pending() {
+		t.Error("cancelled handle still pending")
+	}
+}
+
+func TestCancelAfterFireIsNoop(t *testing.T) {
+	s := New(1)
+	h := s.At(time.Millisecond, func() {})
+	s.Run(time.Second)
+	h.Cancel() // must not panic or corrupt state
+	if h.Pending() {
+		t.Error("fired handle reports pending")
+	}
+}
+
+func TestZeroHandleSafe(t *testing.T) {
+	var h Handle
+	h.Cancel()
+	if h.Pending() {
+		t.Error("zero handle reports pending")
+	}
+}
+
+func TestRunHorizonStopsAndAdvancesClock(t *testing.T) {
+	s := New(1)
+	fired := false
+	s.At(2*time.Second, func() { fired = true })
+	s.Run(time.Second)
+	if fired {
+		t.Error("event beyond horizon fired")
+	}
+	if s.Now() != time.Second {
+		t.Errorf("clock = %v, want horizon 1s", s.Now())
+	}
+	// Resume: the event is still queued.
+	s.Run(3 * time.Second)
+	if !fired {
+		t.Error("event not fired after extending horizon")
+	}
+}
+
+func TestHalt(t *testing.T) {
+	s := New(1)
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.At(time.Duration(i)*time.Millisecond, func() {
+			count++
+			if count == 3 {
+				s.Halt()
+			}
+		})
+	}
+	s.Run(time.Second)
+	if count != 3 {
+		t.Errorf("events fired = %d, want 3 (halted)", count)
+	}
+}
+
+func TestStep(t *testing.T) {
+	s := New(1)
+	n := 0
+	s.At(time.Millisecond, func() { n++ })
+	s.At(2*time.Millisecond, func() { n++ })
+	if !s.Step() || n != 1 {
+		t.Fatalf("first Step: n=%d", n)
+	}
+	if !s.Step() || n != 2 {
+		t.Fatalf("second Step: n=%d", n)
+	}
+	if s.Step() {
+		t.Error("Step on empty queue returned true")
+	}
+}
+
+func TestStepSkipsCancelled(t *testing.T) {
+	s := New(1)
+	h := s.At(time.Millisecond, func() { t.Error("cancelled event ran") })
+	fired := false
+	s.At(2*time.Millisecond, func() { fired = true })
+	h.Cancel()
+	if !s.Step() || !fired {
+		t.Error("Step did not skip cancelled event")
+	}
+}
+
+func TestPendingCount(t *testing.T) {
+	s := New(1)
+	h1 := s.At(time.Millisecond, func() {})
+	s.At(2*time.Millisecond, func() {})
+	if got := s.Pending(); got != 2 {
+		t.Errorf("Pending = %d, want 2", got)
+	}
+	h1.Cancel()
+	if got := s.Pending(); got != 1 {
+		t.Errorf("Pending after cancel = %d, want 1", got)
+	}
+}
+
+func TestDeterministicRand(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Rand().Int63() != b.Rand().Int63() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+func TestEventCount(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 5; i++ {
+		s.At(time.Duration(i)*time.Millisecond, func() {})
+	}
+	s.Run(time.Second)
+	if s.Events() != 5 {
+		t.Errorf("Events = %d, want 5", s.Events())
+	}
+}
+
+// Property: N events scheduled at random times fire in non-decreasing time
+// order, and every event fires exactly once.
+func TestQuickRandomScheduleOrdering(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := New(1)
+		const n = 200
+		var times []Time
+		for i := 0; i < n; i++ {
+			at := time.Duration(rng.Intn(1000)) * time.Millisecond
+			s.At(at, func() { times = append(times, s.Now()) })
+		}
+		s.Run(2 * time.Second)
+		if len(times) != n {
+			return false
+		}
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: nested scheduling (events scheduling events) preserves causal
+// order: a child never fires before its parent.
+func TestQuickNestedCausality(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := New(1)
+		ok := true
+		var spawn func(depth int)
+		spawn = func(depth int) {
+			if depth == 0 {
+				return
+			}
+			parent := s.Now()
+			s.After(time.Duration(rng.Intn(10))*time.Millisecond, func() {
+				if s.Now() < parent {
+					ok = false
+				}
+				spawn(depth - 1)
+			})
+		}
+		s.At(0, func() { spawn(20) })
+		s.Run(time.Second)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,67 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+)
+
+// ASCIIPlot renders a series as a simple terminal plot, used by the example
+// programs and cmd/figures so results are inspectable without external
+// tooling.
+func ASCIIPlot(s *Series, width, height int, yLabel string) string {
+	if len(s.Points) == 0 {
+		return "(no data)\n"
+	}
+	if width < 10 {
+		width = 10
+	}
+	if height < 4 {
+		height = 4
+	}
+	t0 := s.Points[0].T
+	t1 := s.Points[len(s.Points)-1].T
+	if t1 <= t0 {
+		t1 = t0 + time.Millisecond
+	}
+	minV, maxV := math.Inf(1), math.Inf(-1)
+	for _, p := range s.Points {
+		minV = math.Min(minV, p.V)
+		maxV = math.Max(maxV, p.V)
+	}
+	if maxV <= minV {
+		maxV = minV + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	step := (t1 - t0) / time.Duration(width)
+	if step <= 0 {
+		step = time.Millisecond
+	}
+	for x := 0; x < width; x++ {
+		v := s.At(t0+time.Duration(x)*step, math.NaN())
+		if math.IsNaN(v) {
+			continue
+		}
+		y := int((v - minV) / (maxV - minV) * float64(height-1))
+		if y < 0 {
+			y = 0
+		}
+		if y > height-1 {
+			y = height - 1
+		}
+		grid[height-1-y][x] = '*'
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  [%.4g .. %.4g]\n", yLabel, minV, maxV)
+	for _, row := range grid {
+		b.WriteString("|")
+		b.Write(row)
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "+%s\n t: %.2fs .. %.2fs\n", strings.Repeat("-", width), t0.Seconds(), t1.Seconds())
+	return b.String()
+}
