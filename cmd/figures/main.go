@@ -17,6 +17,7 @@ import (
 
 	"starvation/internal/ccac"
 	"starvation/internal/core"
+	"starvation/internal/obs"
 	"starvation/internal/scenario"
 	"starvation/internal/trace"
 	"starvation/internal/units"
@@ -26,6 +27,7 @@ var (
 	outDir = flag.String("out", "results", "output directory")
 	quick  = flag.Bool("quick", false, "shorter runs (coarser data)")
 	only   = flag.String("only", "", "comma-separated experiment IDs to run")
+	obsDir = flag.String("obs", "", "also write per-scenario event traces (JSONL) and Prometheus metrics for the §5 runs into this directory")
 )
 
 type reporter struct {
@@ -71,6 +73,12 @@ func main() {
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *obsDir != "" {
+		if err := os.MkdirAll(*obsDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 	r := &reporter{}
 	if *only != "" {
@@ -223,14 +231,57 @@ func fig7(r *reporter) {
 	}
 }
 
-// tables5 runs every §5 experiment.
+// tables5 runs every §5 experiment. With -obs set, each run streams its
+// packet-lifecycle events to <obs>/<name>_events.jsonl and its end-of-run
+// counters to <obs>/<name>_metrics.txt.
 func tables5(r *reporter) {
 	r.section("T5", "§5 starvation experiments")
 	for _, name := range []string{"copa-single", "copa-two", "bbr-two",
 		"vivace-ackagg", "allegro-loss", "allegro-both", "allegro-single"} {
-		res := scenario.Registry[name](scenario.Opts{Duration: dur(0, 30*time.Second)})
+		opts := scenario.Opts{Duration: dur(0, 30*time.Second)}
+		finish := observe(name, &opts)
+		res := scenario.Registry[name](opts)
+		finish(res)
 		r.row("### %s", res.ID)
 		r.row("```\n%s```", res)
+	}
+}
+
+// observe wires a JSONL probe into opts when -obs is set and returns a
+// function that, given the finished result, closes the trace and writes
+// the scenario's metrics file. With -obs unset it is a no-op.
+func observe(name string, opts *scenario.Opts) func(*scenario.Result) {
+	if *obsDir == "" {
+		return func(*scenario.Result) {}
+	}
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "figures: -obs: %v\n", err)
+		os.Exit(1)
+	}
+	f, err := os.Create(filepath.Join(*obsDir, name+"_events.jsonl"))
+	if err != nil {
+		fail(err)
+	}
+	jw := obs.NewJSONLWriter(f)
+	opts.Probe = jw
+	return func(res *scenario.Result) {
+		if err := jw.Close(); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		if res.Net == nil {
+			return
+		}
+		mf, err := os.Create(filepath.Join(*obsDir, name+"_metrics.txt"))
+		if err != nil {
+			fail(err)
+		}
+		defer mf.Close()
+		if err := obs.WritePrometheus(mf, &res.Net.Obs); err != nil {
+			fail(err)
+		}
 	}
 }
 

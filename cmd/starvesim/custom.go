@@ -11,6 +11,7 @@ import (
 	"starvation/internal/endpoint"
 	"starvation/internal/netem/jitter"
 	"starvation/internal/network"
+	"starvation/internal/obs"
 	"starvation/internal/units"
 
 	// Register every algorithm.
@@ -42,10 +43,11 @@ type customFlags struct {
 	seed         int64
 }
 
-// runCustom assembles and runs the freeform scenario.
-func runCustom(f customFlags) error {
+// runCustom assembles and runs the freeform scenario, streaming events to
+// probe if non-nil.
+func runCustom(f customFlags, probe obs.Probe) (*network.Result, error) {
 	if f.cca1 == "" {
-		return fmt.Errorf("custom mode needs -cca")
+		return nil, fmt.Errorf("custom mode needs -cca")
 	}
 	mk := func(name string, seed int64) (cca.Algorithm, error) {
 		fac := cca.Lookup(name)
@@ -58,13 +60,13 @@ func runCustom(f customFlags) error {
 
 	alg1, err := mk(f.cca1, f.seed*11+1)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	spec1 := network.FlowSpec{Name: f.cca1 + "-0", Alg: alg1, Rm: f.rm1, LossProb: f.loss1}
 	if f.jitterSpec != "" {
 		pol, err := parseJitter(f.jitterSpec, f.seed)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		spec1.FwdJitter = pol
 	}
@@ -76,7 +78,7 @@ func runCustom(f customFlags) error {
 	if f.cca2 != "" {
 		alg2, err := mk(f.cca2, f.seed*11+2)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		specs = append(specs, network.FlowSpec{Name: f.cca2 + "-1", Alg: alg2, Rm: f.rm2})
 	}
@@ -85,10 +87,9 @@ func runCustom(f customFlags) error {
 		Rate:        units.Mbps(f.rateMbps),
 		BufferBytes: f.bufferPkts * endpoint.DefaultMSS,
 		Seed:        f.seed,
+		Probe:       probe,
 	}
-	res := network.New(cfg, specs...).Run(f.duration)
-	fmt.Println(res)
-	return nil
+	return network.New(cfg, specs...).Run(f.duration), nil
 }
 
 // parseJitter turns "kind:value" into a jitter policy. Kinds: const,

@@ -4,10 +4,16 @@
 //
 //	starvesim -list
 //	starvesim -scenario bbr-two [-seed 2] [-duration 60s]
+//	starvesim -scenario bbr-two -trace events.jsonl -metrics metrics.txt
 //	starvesim -scenario all
 //
 // Each scenario prints the paper's claimed numbers next to the measured
-// ones. Exit status is 0 unless the scenario name is unknown.
+// ones. -trace streams the run's packet-lifecycle events (enqueue, drop,
+// mark, dequeue, deliver, ack receipt, cwnd updates, rate samples) as
+// JSONL for offline analysis; -metrics writes the end-of-run counters
+// registry in Prometheus text format. Both observe a single scenario:
+// combine them with one -scenario name (or -cca), not "all".
+// Exit status is 0 unless the scenario name is unknown.
 package main
 
 import (
@@ -16,6 +22,8 @@ import (
 	"os"
 	"time"
 
+	"starvation/internal/network"
+	"starvation/internal/obs"
 	"starvation/internal/scenario"
 )
 
@@ -25,6 +33,9 @@ func main() {
 		name     = flag.String("scenario", "", "scenario to run (or \"all\")")
 		seed     = flag.Int64("seed", 0, "RNG seed (0 = reference realization)")
 		duration = flag.Duration("duration", 0, "override run duration")
+
+		tracePath   = flag.String("trace", "", "write packet-lifecycle events as JSONL to this file")
+		metricsPath = flag.String("metrics", "", "write the counters registry in Prometheus text format to this file")
 
 		// Freeform mode: -cca selects it; everything else is optional.
 		cca1   = flag.String("cca", "", "freeform mode: CCA for flow 0 (e.g. vegas, bbr)")
@@ -39,6 +50,26 @@ func main() {
 	)
 	flag.Parse()
 
+	observing := *tracePath != "" || *metricsPath != ""
+	if observing && *name == "all" {
+		fatalf("starvesim: -trace/-metrics observe one scenario; run them with a single -scenario name")
+	}
+	if *name != "" && *name != "all" && *cca1 == "" {
+		// Validate before opening any output file so a typo'd scenario
+		// name doesn't leave a stray empty trace behind.
+		if _, ok := scenario.Registry[*name]; !ok {
+			fmt.Fprintf(os.Stderr, "unknown scenario %q; use -list\n", *name)
+			os.Exit(1)
+		}
+	}
+
+	// sink owns the optional exporters; runs hand it each Result so the
+	// metrics file reflects the completed run's registry snapshot.
+	sink, err := newObsSink(*tracePath, *metricsPath)
+	if err != nil {
+		fatalf("starvesim: %v", err)
+	}
+
 	if *cca1 != "" {
 		d := *duration
 		if d <= 0 {
@@ -48,16 +79,18 @@ func main() {
 		if s == 0 {
 			s = 2
 		}
-		err := runCustom(customFlags{
+		res, err := runCustom(customFlags{
 			cca1: *cca1, cca2: *cca2,
 			rateMbps: *rate, bufferPkts: *buffer,
 			rm1: *rm1, rm2: *rm2,
 			jitterSpec: *jspec, loss1: *loss1, ackAggregate: *ackPer,
 			duration: d, seed: s,
-		})
+		}, sink.probe())
 		if err != nil {
 			fatalf("starvesim: %v", err)
 		}
+		fmt.Println(res)
+		sink.finish(res)
 		return
 	}
 
@@ -72,25 +105,77 @@ func main() {
 		return
 	}
 
-	opts := scenario.Opts{Seed: *seed, Duration: *duration}
+	opts := scenario.Opts{Seed: *seed, Duration: *duration, Probe: sink.probe()}
 	if *name == "all" {
 		for _, n := range scenario.Names() {
 			run(n, opts)
 		}
 		return
 	}
-	fn, ok := scenario.Registry[*name]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown scenario %q; use -list\n", *name)
-		os.Exit(1)
-	}
-	_ = fn
-	run(*name, opts)
+	res := run(*name, opts)
+	sink.finish(res)
 }
 
-func run(name string, opts scenario.Opts) {
+func run(name string, opts scenario.Opts) *network.Result {
 	fn := scenario.Registry[name]
 	start := time.Now()
 	res := fn(opts)
 	fmt.Printf("%s(took %v)\n\n", res, time.Since(start).Round(time.Millisecond))
+	return res.Net
+}
+
+// obsSink bundles the CLI's observability outputs: an optional JSONL event
+// trace (streamed during the run) and an optional Prometheus metrics file
+// (written from the Result's registry snapshot after it).
+type obsSink struct {
+	traceFile   *os.File
+	traceWriter *obs.JSONLWriter
+	metricsPath string
+}
+
+func newObsSink(tracePath, metricsPath string) (*obsSink, error) {
+	s := &obsSink{metricsPath: metricsPath}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return nil, err
+		}
+		s.traceFile = f
+		s.traceWriter = obs.NewJSONLWriter(f)
+	}
+	return s, nil
+}
+
+func (s *obsSink) probe() obs.Probe {
+	if s.traceWriter == nil {
+		return nil
+	}
+	return s.traceWriter
+}
+
+// finish flushes the event trace and writes the metrics snapshot. res may
+// be nil (closed-form scenarios have no network run).
+func (s *obsSink) finish(res *network.Result) {
+	if s.traceWriter != nil {
+		if err := s.traceWriter.Close(); err != nil {
+			fatalf("starvesim: writing trace: %v", err)
+		}
+		if err := s.traceFile.Close(); err != nil {
+			fatalf("starvesim: closing trace: %v", err)
+		}
+	}
+	if s.metricsPath == "" {
+		return
+	}
+	if res == nil {
+		fatalf("starvesim: -metrics: scenario produced no network run")
+	}
+	f, err := os.Create(s.metricsPath)
+	if err != nil {
+		fatalf("starvesim: %v", err)
+	}
+	defer f.Close()
+	if err := obs.WritePrometheus(f, &res.Obs); err != nil {
+		fatalf("starvesim: writing metrics: %v", err)
+	}
 }

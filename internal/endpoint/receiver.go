@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"starvation/internal/netem"
+	"starvation/internal/obs"
 	"starvation/internal/packet"
 	"starvation/internal/sim"
 )
@@ -56,6 +57,10 @@ type Receiver struct {
 	// Stats.
 	Received int64
 	AcksSent int64
+
+	// Probe receives an EvDeliver per arriving segment. Set it before the
+	// run; nil (the default) disables emission.
+	Probe obs.Probe
 }
 
 // NewReceiver creates a receiver that sends ACKs to out.
@@ -66,10 +71,18 @@ func NewReceiver(s *sim.Simulator, flow packet.FlowID, cfg AckConfig, out netem.
 	return &Receiver{sim: s, flow: flow, cfg: cfg, out: out, ooo: make(map[int64]int)}
 }
 
+// DeliveredBytes returns the count of distinct payload bytes accepted so
+// far, in any order (the quantity echoed to rate-based CCAs).
+func (r *Receiver) DeliveredBytes() int64 { return r.delivered }
+
 // OnPacket processes an arriving data segment.
 func (r *Receiver) OnPacket(p packet.Packet) {
 	r.Received++
 	now := r.sim.Now()
+	if r.Probe != nil {
+		r.Probe.Emit(obs.Event{Type: obs.EvDeliver, At: now, Flow: r.flow,
+			Seq: p.Seq, Bytes: p.Size, Queue: -1, Retx: p.Retx})
+	}
 	newly := 0
 	inOrder := true
 	switch {

@@ -10,6 +10,7 @@ import (
 
 	"starvation/internal/cca"
 	"starvation/internal/netem"
+	"starvation/internal/obs"
 	"starvation/internal/packet"
 	"starvation/internal/sim"
 	"starvation/internal/units"
@@ -74,12 +75,21 @@ type Sender struct {
 	DeliveredBytes int64
 	SentBytes      int64
 	RetxBytes      int64
+	SentPackets    int64
+	RetxPackets    int64
+	AcksReceived   int64
+	CwndUpdates    int64
 	LossEvents     int64
 	Timeouts       int64
 	LastRTT        time.Duration
 	StartedAt      time.Duration
 	maxBurst       int
 	AckTraceHook   func(now, rtt time.Duration, ackedBytes int)
+
+	// Probe receives EvAckRecv and EvCwndUpdate lifecycle events. Set it
+	// before Start; nil (the default) disables emission.
+	Probe    obs.Probe
+	lastCwnd int
 }
 
 // NewSender creates a sender for the given flow. out is the first element
@@ -219,8 +229,10 @@ func (sn *Sender) sendSegment(seq int64, retx bool) {
 	st.queued = false
 	sn.pipe += st.size
 	sn.SentBytes += int64(st.size)
+	sn.SentPackets++
 	if retx {
 		sn.RetxBytes += int64(st.size)
+		sn.RetxPackets++
 	}
 	if so, ok := sn.alg.(cca.SendObserver); ok {
 		so.OnSend(cca.SendSignal{Now: now, Bytes: st.size, Seq: seq, Retx: retx})
@@ -235,6 +247,7 @@ func (sn *Sender) OnAck(a packet.Ack) {
 		return
 	}
 	now := sn.sim.Now()
+	sn.AcksReceived++
 
 	var rtt time.Duration
 	if !a.EchoRetx {
@@ -326,10 +339,28 @@ func (sn *Sender) OnAck(a packet.Ack) {
 		InFlight:       sn.pipe,
 		ECE:            a.ECE,
 	})
+	if sn.Probe != nil {
+		sn.Probe.Emit(obs.Event{Type: obs.EvAckRecv, At: now, Flow: sn.flow,
+			Seq: a.CumAck, Bytes: newly, Queue: -1, Retx: a.EchoRetx})
+		sn.noteCwnd(now)
+	}
 	if sn.AckTraceHook != nil {
 		sn.AckTraceHook(now, rtt, newly)
 	}
 	sn.trySend()
+}
+
+// noteCwnd emits EvCwndUpdate when the CCA's window moved since the last
+// probe observation. Called only on the instrumented path (Probe != nil).
+func (sn *Sender) noteCwnd(now time.Duration) {
+	w := sn.alg.Window()
+	if w == sn.lastCwnd {
+		return
+	}
+	sn.lastCwnd = w
+	sn.CwndUpdates++
+	sn.Probe.Emit(obs.Event{Type: obs.EvCwndUpdate, At: now, Flow: sn.flow,
+		Bytes: w, Queue: -1})
 }
 
 // detectSackLosses applies the RFC 6675 rule: an unsacked segment with at
@@ -389,6 +420,9 @@ func (sn *Sender) markLost(seq int64, newEvent bool, now time.Duration) {
 			NewEvent: newEvent,
 			InFlight: sn.pipe,
 		})
+		if sn.Probe != nil {
+			sn.noteCwnd(now)
+		}
 	}
 }
 
@@ -482,6 +516,9 @@ func (sn *Sender) enterRecoveryTimeout(now time.Duration) {
 		Timeout:  true,
 		InFlight: sn.pipe,
 	})
+	if sn.Probe != nil {
+		sn.noteCwnd(now)
+	}
 }
 
 // Throughput returns the Def. 2 throughput: bytes acknowledged since the

@@ -10,6 +10,7 @@ import (
 	"math"
 	"time"
 
+	"starvation/internal/obs"
 	"starvation/internal/packet"
 	"starvation/internal/sim"
 	"starvation/internal/units"
@@ -32,16 +33,28 @@ type Link struct {
 	ecn    int // bytes; 0 = simple threshold ECN disabled
 	marker Marker
 	out    PacketHandler
+	probe  obs.Probe
 
 	queuedBytes   int
 	lastDeparture time.Duration
 
 	// Stats.
-	Delivered    int64 // packets delivered
-	Dropped      int64 // packets dropped at the tail
-	Marked       int64 // packets ECN-marked
-	MaxQueue     int   // high-water mark in bytes
-	DropCallback func(p packet.Packet)
+	Delivered     int64 // packets delivered
+	Dropped       int64 // packets dropped at the tail
+	Marked        int64 // packets ECN-marked
+	MaxQueue      int   // high-water mark in bytes
+	EnqueuedPkts  int64 // packets accepted into the queue
+	EnqueuedBytes int64 // bytes accepted into the queue
+	perFlow       []FlowLinkStats
+}
+
+// FlowLinkStats breaks the link's counters down by owning flow.
+type FlowLinkStats struct {
+	Enqueued      int64
+	EnqueuedBytes int64
+	Delivered     int64
+	Dropped       int64
+	Marked        int64
 }
 
 // NewLink creates a bottleneck of the given rate and buffer size that
@@ -53,6 +66,26 @@ func NewLink(s *sim.Simulator, rate units.Rate, bufferBytes int, out PacketHandl
 // SetECNThreshold enables ECN marking for packets that arrive when the
 // queue holds at least thresholdBytes.
 func (l *Link) SetECNThreshold(thresholdBytes int) { l.ecn = thresholdBytes }
+
+// SetProbe installs a lifecycle-event probe. A nil probe (the default)
+// disables event emission at the cost of one branch per transition.
+func (l *Link) SetProbe(p obs.Probe) { l.probe = p }
+
+// FlowStats returns the per-flow counter block for f (zeros for flows the
+// link has not yet seen).
+func (l *Link) FlowStats(f packet.FlowID) FlowLinkStats {
+	if int(f) < len(l.perFlow) {
+		return l.perFlow[f]
+	}
+	return FlowLinkStats{}
+}
+
+func (l *Link) flow(f packet.FlowID) *FlowLinkStats {
+	for int(f) >= len(l.perFlow) {
+		l.perFlow = append(l.perFlow, FlowLinkStats{})
+	}
+	return &l.perFlow[f]
+}
 
 // Rate returns the link's drain rate.
 func (l *Link) Rate() units.Rate { return l.rate }
@@ -91,24 +124,31 @@ func (l *Link) Prime(delay time.Duration) {
 // Enqueue offers a packet to the bottleneck. The packet is either queued
 // for later delivery or dropped.
 func (l *Link) Enqueue(p packet.Packet) {
+	now := l.sim.Now()
 	if l.buf > 0 && l.queuedBytes+p.Size > l.buf {
 		l.Dropped++
-		if l.DropCallback != nil {
-			l.DropCallback(p)
+		l.flow(p.Flow).Dropped++
+		if l.probe != nil {
+			l.probe.Emit(obs.Event{Type: obs.EvDrop, At: now, Flow: p.Flow,
+				Seq: p.Seq, Bytes: p.Size, Queue: l.queuedBytes, Retx: p.Retx})
 		}
 		return
 	}
+	marked := false
 	switch {
 	case l.marker != nil:
 		if l.marker.Mark(l.queuedBytes) {
 			p.ECN = true
-			l.Marked++
+			marked = true
 		}
 	case l.ecn > 0 && l.queuedBytes >= l.ecn:
 		p.ECN = true
-		l.Marked++
+		marked = true
 	}
-	now := l.sim.Now()
+	if marked {
+		l.Marked++
+		l.flow(p.Flow).Marked++
+	}
 	if l.lastDeparture < now {
 		l.lastDeparture = now
 	}
@@ -118,10 +158,28 @@ func (l *Link) Enqueue(p packet.Packet) {
 	if l.queuedBytes > l.MaxQueue {
 		l.MaxQueue = l.queuedBytes
 	}
+	l.EnqueuedPkts++
+	l.EnqueuedBytes += int64(p.Size)
+	fs := l.flow(p.Flow)
+	fs.Enqueued++
+	fs.EnqueuedBytes += int64(p.Size)
+	if l.probe != nil {
+		if marked {
+			l.probe.Emit(obs.Event{Type: obs.EvMark, At: now, Flow: p.Flow,
+				Seq: p.Seq, Bytes: p.Size, Queue: l.queuedBytes, Retx: p.Retx})
+		}
+		l.probe.Emit(obs.Event{Type: obs.EvEnqueue, At: now, Flow: p.Flow,
+			Seq: p.Seq, Bytes: p.Size, Queue: l.queuedBytes, Retx: p.Retx})
+	}
 	pkt := p
 	l.sim.At(depart, func() {
 		l.queuedBytes -= pkt.Size
 		l.Delivered++
+		l.flow(pkt.Flow).Delivered++
+		if l.probe != nil {
+			l.probe.Emit(obs.Event{Type: obs.EvDequeue, At: l.sim.Now(), Flow: pkt.Flow,
+				Seq: pkt.Seq, Bytes: pkt.Size, Queue: l.queuedBytes, Retx: pkt.Retx})
+		}
 		l.out(pkt)
 	})
 }

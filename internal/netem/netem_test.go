@@ -7,10 +7,16 @@ import (
 	"time"
 
 	"starvation/internal/netem/jitter"
+	"starvation/internal/obs"
 	"starvation/internal/packet"
 	"starvation/internal/sim"
 	"starvation/internal/units"
 )
+
+// probeFunc adapts a closure to obs.Probe for tests.
+type probeFunc func(obs.Event)
+
+func (f probeFunc) Emit(e obs.Event) { f(e) }
 
 func TestLinkSerializationTiming(t *testing.T) {
 	s := sim.New(1)
@@ -56,7 +62,11 @@ func TestLinkDropTail(t *testing.T) {
 	delivered := 0
 	l := NewLink(s, units.Mbps(12), 3*1500, func(p packet.Packet) { delivered++ })
 	var droppedSeqs []int64
-	l.DropCallback = func(p packet.Packet) { droppedSeqs = append(droppedSeqs, p.Seq) }
+	l.SetProbe(probeFunc(func(e obs.Event) {
+		if e.Type == obs.EvDrop {
+			droppedSeqs = append(droppedSeqs, e.Seq)
+		}
+	}))
 	s.At(0, func() {
 		for i := 0; i < 5; i++ {
 			l.Enqueue(packet.Packet{Seq: int64(i), Size: 1500})
@@ -279,5 +289,72 @@ func TestQuickLinkFIFO(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestLinkLifecycleEvents checks the probe sees enqueue/mark/dequeue/drop
+// transitions with correct queue depths, and that per-flow counters agree.
+func TestLinkLifecycleEvents(t *testing.T) {
+	s := sim.New(1)
+	var events []obs.Event
+	l := NewLink(s, units.Mbps(12), 3*1500, func(p packet.Packet) {})
+	l.SetECNThreshold(2 * 1500)
+	l.SetProbe(probeFunc(func(e obs.Event) { events = append(events, e) }))
+	s.At(0, func() {
+		for i := 0; i < 4; i++ {
+			l.Enqueue(packet.Packet{Flow: packet.FlowID(i % 2), Seq: int64(i * 1500), Size: 1500})
+		}
+	})
+	s.Run(time.Second)
+
+	count := map[obs.EventType]int{}
+	for _, e := range events {
+		count[e.Type]++
+	}
+	if count[obs.EvEnqueue] != 3 || count[obs.EvDrop] != 1 || count[obs.EvDequeue] != 3 {
+		t.Fatalf("event counts = %v, want 3 enqueues, 1 drop, 3 dequeues", count)
+	}
+	// Packet 2 (flow 0) arrives with 3000B queued: at threshold, marked.
+	if count[obs.EvMark] != 1 {
+		t.Errorf("marks = %d, want 1", count[obs.EvMark])
+	}
+	// First enqueue sees depth 1500; final dequeue drains back to 0.
+	if events[0].Type != obs.EvEnqueue || events[0].Queue != 1500 {
+		t.Errorf("first event = %+v, want enqueue at depth 1500", events[0])
+	}
+	last := events[len(events)-1]
+	if last.Type != obs.EvDequeue || last.Queue != 0 {
+		t.Errorf("last event = %+v, want dequeue at depth 0", last)
+	}
+	f0, f1 := l.FlowStats(0), l.FlowStats(1)
+	if f0.Enqueued != 2 || f1.Enqueued != 1 || f1.Dropped != 1 {
+		t.Errorf("per-flow stats = %+v / %+v", f0, f1)
+	}
+	if f0.Marked != 1 {
+		t.Errorf("flow0 marked = %d, want 1", f0.Marked)
+	}
+	if got := l.FlowStats(99); got != (FlowLinkStats{}) {
+		t.Errorf("unknown flow stats = %+v, want zeros", got)
+	}
+}
+
+// TestLossGateProbe checks gate drops surface as EvDrop with queue -1.
+func TestLossGateProbe(t *testing.T) {
+	s := sim.New(1)
+	var drops []obs.Event
+	g := NewLossGate(1.0, rand.New(rand.NewSource(1)), func(p packet.Packet) {
+		t.Error("gate with P=1 passed a packet")
+	})
+	g.SetProbe(s, probeFunc(func(e obs.Event) { drops = append(drops, e) }))
+	s.At(5*time.Millisecond, func() {
+		g.Send(packet.Packet{Flow: 1, Seq: 3000, Size: 1500})
+	})
+	s.Run(time.Second)
+	if len(drops) != 1 {
+		t.Fatalf("drops = %d, want 1", len(drops))
+	}
+	e := drops[0]
+	if e.Type != obs.EvDrop || e.Queue != -1 || e.Flow != 1 || e.At != 5*time.Millisecond {
+		t.Errorf("drop event = %+v", e)
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"starvation/internal/endpoint"
 	"starvation/internal/netem"
 	"starvation/internal/netem/jitter"
+	"starvation/internal/obs"
 	"starvation/internal/packet"
 	"starvation/internal/sim"
 	"starvation/internal/trace"
@@ -58,6 +59,11 @@ type Config struct {
 	Seed int64
 	// SampleEvery is the trace sampling interval (default 100 ms).
 	SampleEvery time.Duration
+	// Probe receives the packet-lifecycle event stream from every element
+	// (bottleneck, loss gates, endpoints) plus periodic rate samples. Nil
+	// (the default) disables event emission; the counters registry in
+	// Result.Obs is populated either way.
+	Probe obs.Probe
 }
 
 // Flow is the instantiated per-flow pipeline with its traces.
@@ -73,6 +79,8 @@ type Flow struct {
 	RateTrace trace.Series // windowed throughput (bit/s) vs time
 	CwndTrace trace.Series // cwnd bytes vs time
 
+	gate             *netem.LossGate // random-loss element, nil unless LossProb > 0
+	rateSamples      int64
 	lastSampledAcked int64
 }
 
@@ -110,6 +118,7 @@ func New(cfg Config, specs ...FlowSpec) *Network {
 	if cfg.Marker != nil {
 		n.Link.SetMarker(cfg.Marker)
 	}
+	n.Link.SetProbe(cfg.Probe)
 
 	for i, spec := range specs {
 		if spec.Alg == nil {
@@ -141,6 +150,7 @@ func New(cfg Config, specs ...FlowSpec) *Network {
 		})
 		// Receiver feeds the ack box.
 		f.Receiver = endpoint.NewReceiver(s, f.ID, spec.Ack, f.AckBox.Send)
+		f.Receiver.Probe = cfg.Probe
 		// Forward path tail: jitter box -> receiver.
 		f.FwdBox = netem.NewDelayBox(s, spec.FwdJitter, f.Receiver.OnPacket)
 
@@ -151,9 +161,12 @@ func New(cfg Config, specs ...FlowSpec) *Network {
 			// run seed so adding flows never perturbs other flows' loss.
 			gateRng := newDerivedRand(cfg.Seed, i)
 			gate := netem.NewLossGate(spec.LossProb, gateRng, n.Link.Enqueue)
+			gate.SetProbe(s, cfg.Probe)
+			f.gate = gate
 			intoLink = gate.Send
 		}
 		f.Sender = endpoint.NewSender(s, f.ID, spec.Alg, spec.MSS, intoLink)
+		f.Sender.Probe = cfg.Probe
 		f.Sender.AckTraceHook = func(now, rtt time.Duration, acked int) {
 			if rtt > 0 {
 				f.RTTTrace.Add(now, rtt.Seconds())
@@ -193,7 +206,8 @@ func (n *Network) RunWindow(d, from, to time.Duration) *Result {
 
 func (n *Network) sample() {
 	now := n.Sim.Now()
-	n.QueueTrace.Add(now, float64(n.Link.QueuedBytes()))
+	depth := n.Link.QueuedBytes()
+	n.QueueTrace.Add(now, float64(depth))
 	for _, f := range n.Flows {
 		acked := f.Sender.DeliveredBytes
 		delta := acked - f.lastSampledAcked
@@ -201,6 +215,11 @@ func (n *Network) sample() {
 		rate := units.RateFromBytes(int(delta), n.cfg.SampleEvery)
 		f.RateTrace.Add(now, float64(rate))
 		f.CwndTrace.Add(now, float64(f.Sender.Algorithm().Window()))
+		if n.cfg.Probe != nil {
+			f.rateSamples++
+			n.cfg.Probe.Emit(obs.Event{Type: obs.EvRateSample, At: now,
+				Flow: f.ID, Seq: int64(rate), Queue: depth})
+		}
 	}
 	n.Sim.After(n.cfg.SampleEvery, n.sample)
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"starvation/internal/metrics"
+	"starvation/internal/obs"
 	"starvation/internal/trace"
 	"starvation/internal/units"
 )
@@ -36,6 +37,10 @@ type Result struct {
 	Dropped    int64
 	Delivered  int64
 	MaxQueue   int
+	// Obs is the end-of-run registry snapshot: per-flow and global
+	// packet-lifecycle counters plus event-loop gauges. It is assembled
+	// from element counters on every run, probe installed or not.
+	Obs obs.Snapshot
 }
 
 func (n *Network) collect(d, from, to time.Duration) *Result {
@@ -79,7 +84,53 @@ func (n *Network) collect(d, from, to time.Duration) *Result {
 			Cwnd: &f.CwndTrace,
 		})
 	}
+	res.Obs = n.snapshot()
 	return res
+}
+
+// snapshot assembles the observability registry from element counters. It
+// produces exactly the numbers an event-fed obs.Registry would: the
+// round-trip tests reconcile the two, so keep the derivations in sync with
+// the event emission points.
+func (n *Network) snapshot() obs.Snapshot {
+	var snap obs.Snapshot
+	for _, f := range n.Flows {
+		ls := n.Link.FlowStats(f.ID)
+		fc := snap.Flow(f.ID)
+		*fc = obs.FlowCounters{
+			Name:             f.Spec.Name,
+			PacketsSent:      f.Sender.SentPackets,
+			PacketsEnqueued:  ls.Enqueued,
+			PacketsDropped:   ls.Dropped,
+			PacketsMarked:    ls.Marked,
+			PacketsDelivered: f.Receiver.Received,
+			Retransmits:      f.Sender.RetxPackets,
+			AcksReceived:     f.Sender.AcksReceived,
+			BytesSent:        f.Sender.SentBytes,
+			BytesEnqueued:    ls.EnqueuedBytes,
+			BytesAcked:       f.Sender.AckedBytes,
+			BytesDelivered:   f.Receiver.DeliveredBytes(),
+			CwndUpdates:      f.Sender.CwndUpdates,
+			RateSamples:      f.rateSamples,
+		}
+		if f.gate != nil {
+			fc.PacketsDropped += f.gate.Dropped
+		}
+		g := &snap.Global
+		g.PacketsDropped += fc.PacketsDropped
+		g.PacketsDelivered += fc.PacketsDelivered
+		g.AcksReceived += fc.AcksReceived
+	}
+	g := &snap.Global
+	g.PacketsEnqueued = n.Link.EnqueuedPkts
+	g.PacketsDequeued = n.Link.Delivered
+	g.PacketsMarked = n.Link.Marked
+	g.BytesEnqueued = n.Link.EnqueuedBytes
+	g.MaxQueueBytes = int64(n.Link.MaxQueue)
+	st := n.Sim.Stats()
+	g.SimEventsScheduled = st.Scheduled
+	g.SimEventsFired = st.Fired
+	return snap
 }
 
 func windowThroughput(rate *trace.Series, from, to time.Duration) units.Rate {

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"starvation/internal/packet"
+)
+
+// jsonEvent is the JSONL wire form of an Event. Timestamps are integer
+// nanoseconds so a write/read round trip is exact.
+type jsonEvent struct {
+	Type  string `json:"type"`
+	TNs   int64  `json:"t_ns"`
+	Flow  int    `json:"flow"`
+	Seq   int64  `json:"seq"`
+	Bytes int    `json:"bytes"`
+	Queue int    `json:"queue"`
+	Retx  bool   `json:"retx,omitempty"`
+}
+
+// JSONLWriter is a Probe that streams events as one JSON object per line,
+// buffered. Errors are sticky: the first write failure is remembered and
+// later Emits become no-ops, so the simulation hot path never has to
+// handle I/O errors inline. Check Close (or Err) at the end of the run.
+type JSONLWriter struct {
+	bw  *bufio.Writer
+	err error
+}
+
+// NewJSONLWriter wraps w in a buffered event writer. The caller retains
+// ownership of w (Close flushes but does not close it).
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	return &JSONLWriter{bw: bufio.NewWriterSize(w, 64<<10)}
+}
+
+// Emit implements Probe.
+func (jw *JSONLWriter) Emit(e Event) {
+	if jw.err != nil {
+		return
+	}
+	line, err := json.Marshal(jsonEvent{
+		Type:  e.Type.String(),
+		TNs:   int64(e.At),
+		Flow:  int(e.Flow),
+		Seq:   e.Seq,
+		Bytes: e.Bytes,
+		Queue: e.Queue,
+		Retx:  e.Retx,
+	})
+	if err != nil {
+		jw.err = err
+		return
+	}
+	if _, err := jw.bw.Write(line); err != nil {
+		jw.err = err
+		return
+	}
+	jw.err = jw.bw.WriteByte('\n')
+}
+
+// Err returns the first error encountered while writing, if any.
+func (jw *JSONLWriter) Err() error { return jw.err }
+
+// Close flushes buffered events and returns the first error seen.
+func (jw *JSONLWriter) Close() error {
+	if err := jw.bw.Flush(); err != nil && jw.err == nil {
+		jw.err = err
+	}
+	return jw.err
+}
+
+// ReadJSONL parses an event trace written by JSONLWriter. Blank lines are
+// skipped; any malformed line aborts with an error naming its number.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	var out []Event
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var je jsonEvent
+		if err := json.Unmarshal(line, &je); err != nil {
+			return nil, fmt.Errorf("obs: jsonl line %d: %w", lineNo, err)
+		}
+		t, ok := ParseEventType(je.Type)
+		if !ok {
+			return nil, fmt.Errorf("obs: jsonl line %d: unknown event type %q", lineNo, je.Type)
+		}
+		out = append(out, Event{
+			Type:  t,
+			At:    time.Duration(je.TNs),
+			Flow:  packet.FlowID(je.Flow),
+			Seq:   je.Seq,
+			Bytes: je.Bytes,
+			Queue: je.Queue,
+			Retx:  je.Retx,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: reading jsonl: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,143 @@
+// Package obs is the emulator's observability layer: a structured
+// packet-lifecycle event stream, a counters/gauges registry, and exporters
+// (JSONL event traces, Prometheus-text counter summaries).
+//
+// Every network element accepts an optional Probe and emits one Event per
+// lifecycle transition of a packet (enqueue, drop, mark, dequeue, deliver,
+// ack receipt) plus per-flow control-state samples (cwnd updates, rate
+// samples). A nil Probe disables instrumentation entirely: call sites guard
+// with a nil check and Event is a value type, so the disabled path costs one
+// predictable branch and zero allocations (BenchmarkNoopProbe in
+// internal/network bounds the enabled-path overhead).
+//
+// The Registry is a Probe that folds the event stream into per-flow and
+// global counters; internal/network also assembles the same Snapshot shape
+// directly from element counters at the end of every run, so results carry
+// a registry snapshot even when no probe was installed. The round-trip
+// tests reconcile the two constructions.
+package obs
+
+import (
+	"fmt"
+	"time"
+
+	"starvation/internal/packet"
+)
+
+// EventType enumerates the packet-lifecycle transitions and control-state
+// samples the emulator reports.
+type EventType uint8
+
+const (
+	// EvEnqueue: the bottleneck accepted a packet into its FIFO. Queue is
+	// the depth in bytes after the packet was added.
+	EvEnqueue EventType = iota
+	// EvDrop: a packet was discarded, either by the bottleneck's drop-tail
+	// check (Queue is the depth that rejected it) or by a random-loss gate
+	// (Queue is -1: the gate sits before the queue).
+	EvDrop
+	// EvMark: the bottleneck set the ECN congestion-experienced codepoint.
+	// Emitted in addition to the EvEnqueue of the same packet.
+	EvMark
+	// EvDequeue: a packet finished serialization and left the bottleneck.
+	// Queue is the depth after removal.
+	EvDequeue
+	// EvDeliver: the packet arrived at the receiver endpoint.
+	EvDeliver
+	// EvAckRecv: the sender processed an acknowledgment. Seq is the
+	// cumulative ACK point, Bytes the newly acknowledged payload.
+	EvAckRecv
+	// EvCwndUpdate: the flow's congestion window changed; Bytes is the new
+	// window in bytes.
+	EvCwndUpdate
+	// EvRateSample: periodic per-flow throughput sample; Seq is the
+	// windowed delivery rate in bit/s, Queue the bottleneck depth.
+	EvRateSample
+
+	numEventTypes
+)
+
+var eventTypeNames = [numEventTypes]string{
+	"enqueue", "drop", "mark", "dequeue", "deliver",
+	"ack_recv", "cwnd_update", "rate_sample",
+}
+
+// String returns the stable wire name of the event type.
+func (t EventType) String() string {
+	if int(t) < len(eventTypeNames) {
+		return eventTypeNames[t]
+	}
+	return fmt.Sprintf("event(%d)", uint8(t))
+}
+
+// ParseEventType inverts String; ok is false for unknown names.
+func ParseEventType(s string) (EventType, bool) {
+	for i, n := range eventTypeNames {
+		if n == s {
+			return EventType(i), true
+		}
+	}
+	return 0, false
+}
+
+// Event is one observation. It is a plain value: emitting one never
+// allocates, and probes may retain copies freely.
+type Event struct {
+	Type EventType
+	// At is the virtual timestamp of the observation.
+	At time.Duration
+	// Flow is the owning flow.
+	Flow packet.FlowID
+	// Seq is the event's sequence/offset payload: the packet's first byte
+	// offset for lifecycle events, the cumulative ACK for EvAckRecv, and
+	// the rate in bit/s for EvRateSample.
+	Seq int64
+	// Bytes is the byte count involved: segment size for lifecycle events,
+	// newly acked payload for EvAckRecv, the new window for EvCwndUpdate.
+	Bytes int
+	// Queue is the bottleneck queue depth in bytes observed with the event
+	// (-1 when the emitting element has no queue view, e.g. a loss gate).
+	Queue int
+	// Retx marks events about retransmitted segments.
+	Retx bool
+}
+
+// Probe consumes the event stream. Implementations must be cheap: probes
+// run inline in the simulation hot path. A nil Probe means disabled.
+type Probe interface {
+	Emit(e Event)
+}
+
+// Nop is an enabled probe that discards every event. It exists to measure
+// the pure dispatch overhead of instrumentation (BenchmarkNoopProbe).
+type Nop struct{}
+
+// Emit implements Probe.
+func (Nop) Emit(Event) {}
+
+type multiProbe []Probe
+
+func (m multiProbe) Emit(e Event) {
+	for _, p := range m {
+		p.Emit(e)
+	}
+}
+
+// Multi fans one event stream out to several probes. Nil members are
+// dropped; Multi of zero live probes returns nil (disabled), of one
+// returns it unwrapped.
+func Multi(probes ...Probe) Probe {
+	live := make(multiProbe, 0, len(probes))
+	for _, p := range probes {
+		if p != nil {
+			live = append(live, p)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return live
+}

@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"bytes"
+	"reflect"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestEventTypeNamesRoundTrip(t *testing.T) {
+	for et := EventType(0); et < numEventTypes; et++ {
+		got, ok := ParseEventType(et.String())
+		if !ok || got != et {
+			t.Errorf("ParseEventType(%q) = %v, %v; want %v", et.String(), got, ok, et)
+		}
+	}
+	if _, ok := ParseEventType("bogus"); ok {
+		t.Error("ParseEventType accepted an unknown name")
+	}
+}
+
+func TestMultiDropsNils(t *testing.T) {
+	if Multi() != nil || Multi(nil, nil) != nil {
+		t.Error("Multi of no live probes should be nil (disabled)")
+	}
+	r := NewRegistry()
+	if Multi(nil, r, nil) != Probe(r) {
+		t.Error("Multi of one live probe should unwrap it")
+	}
+	r2 := NewRegistry()
+	m := Multi(r, r2)
+	m.Emit(Event{Type: EvDeliver, Flow: 0, Bytes: 100})
+	if r.snap.Global.PacketsDelivered != 1 || r2.snap.Global.PacketsDelivered != 1 {
+		t.Error("Multi did not fan out to both probes")
+	}
+}
+
+func TestRegistryAccumulates(t *testing.T) {
+	r := NewRegistry()
+	events := []Event{
+		{Type: EvEnqueue, Flow: 0, Seq: 0, Bytes: 1500, Queue: 1500},
+		{Type: EvMark, Flow: 0, Seq: 0, Bytes: 1500, Queue: 1500},
+		{Type: EvEnqueue, Flow: 1, Seq: 0, Bytes: 1500, Queue: 3000},
+		{Type: EvDrop, Flow: 0, Seq: 1500, Bytes: 1500, Queue: 3000},
+		{Type: EvDrop, Flow: 0, Seq: 1500, Bytes: 1500, Queue: -1, Retx: true},
+		{Type: EvDequeue, Flow: 0, Seq: 0, Bytes: 1500, Queue: 1500},
+		{Type: EvDeliver, Flow: 0, Seq: 0, Bytes: 1500},
+		{Type: EvAckRecv, Flow: 0, Seq: 1500, Bytes: 1500},
+		{Type: EvCwndUpdate, Flow: 0, Bytes: 3000},
+		{Type: EvRateSample, Flow: 1, Seq: 12_000_000, Queue: 1500},
+	}
+	for _, e := range events {
+		r.Emit(e)
+	}
+	snap := r.Snapshot()
+	f0 := snap.Flows[0]
+	if f0.PacketsSent != 3 || f0.PacketsEnqueued != 1 || f0.PacketsDropped != 2 {
+		t.Errorf("flow0 sent/enq/drop = %d/%d/%d, want 3/1/2",
+			f0.PacketsSent, f0.PacketsEnqueued, f0.PacketsDropped)
+	}
+	if f0.Retransmits != 1 || f0.PacketsMarked != 1 || f0.PacketsDelivered != 1 {
+		t.Errorf("flow0 retx/marked/delivered = %d/%d/%d, want 1/1/1",
+			f0.Retransmits, f0.PacketsMarked, f0.PacketsDelivered)
+	}
+	if f0.BytesSent != 4500 || f0.BytesEnqueued != 1500 || f0.BytesAcked != 1500 {
+		t.Errorf("flow0 bytes sent/enq/acked = %d/%d/%d, want 4500/1500/1500",
+			f0.BytesSent, f0.BytesEnqueued, f0.BytesAcked)
+	}
+	if f0.AcksReceived != 1 || f0.CwndUpdates != 1 {
+		t.Errorf("flow0 acks/cwnd-updates = %d/%d, want 1/1", f0.AcksReceived, f0.CwndUpdates)
+	}
+	if snap.Flows[1].RateSamples != 1 || snap.Flows[1].PacketsSent != 1 {
+		t.Errorf("flow1 = %+v, want 1 rate sample, 1 sent", snap.Flows[1])
+	}
+	g := snap.Global
+	if g.PacketsEnqueued != 2 || g.PacketsDropped != 2 || g.PacketsDequeued != 1 ||
+		g.PacketsDelivered != 1 || g.MaxQueueBytes != 3000 {
+		t.Errorf("global = %+v", g)
+	}
+
+	// Snapshot is a deep copy: mutating it must not touch the registry.
+	snap.Flows[0].PacketsSent = 999
+	if r.snap.Flows[0].PacketsSent != 3 {
+		t.Error("Snapshot aliases registry state")
+	}
+}
+
+func TestJSONLRoundTripExact(t *testing.T) {
+	events := []Event{
+		{Type: EvEnqueue, At: 1234567, Flow: 0, Seq: 0, Bytes: 1500, Queue: 1500},
+		{Type: EvDrop, At: 2 * time.Millisecond, Flow: 1, Seq: 4500, Bytes: 1500, Queue: -1, Retx: true},
+		{Type: EvRateSample, At: time.Second, Flow: 0, Seq: 48_000_000, Queue: 0},
+	}
+	var buf bytes.Buffer
+	jw := NewJSONLWriter(&buf)
+	for _, e := range events {
+		jw.Emit(e)
+	}
+	if err := jw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, events) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, events)
+	}
+}
+
+func TestReadJSONLRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("{\"type\":\"enqueue\"}\nnot json\n")); err == nil {
+		t.Error("want error for malformed line")
+	}
+	if _, err := ReadJSONL(strings.NewReader("{\"type\":\"warp\"}\n")); err == nil {
+		t.Error("want error for unknown event type")
+	}
+}
+
+// promSample matches one sample line of the text exposition format.
+var promSample = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*")*\})? -?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?$`)
+
+// ValidatePrometheus checks every line of a text-format exposition: only
+// HELP/TYPE comments and well-formed sample lines are allowed. Shared by
+// the CLI round-trip tests.
+func ValidatePrometheus(t *testing.T, text string) {
+	t.Helper()
+	seenType := map[string]bool{}
+	for i, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+		case strings.HasPrefix(line, "# TYPE "):
+			fields := strings.Fields(line)
+			if len(fields) != 4 || (fields[3] != "counter" && fields[3] != "gauge") {
+				t.Errorf("line %d: bad TYPE line %q", i+1, line)
+			}
+			if seenType[fields[2]] {
+				t.Errorf("line %d: duplicate TYPE for %s", i+1, fields[2])
+			}
+			seenType[fields[2]] = true
+		default:
+			if !promSample.MatchString(line) {
+				t.Errorf("line %d: malformed sample %q", i+1, line)
+			}
+		}
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Emit(Event{Type: EvEnqueue, Flow: 0, Bytes: 1500, Queue: 1500})
+	r.Emit(Event{Type: EvEnqueue, Flow: 1, Bytes: 1500, Queue: 3000})
+	r.Emit(Event{Type: EvDeliver, Flow: 1, Bytes: 1500})
+	snap := r.Snapshot()
+	snap.Flows[0].Name = "rtt40"
+	snap.Global.SimEventsFired = 42
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, &snap); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	ValidatePrometheus(t, out)
+	for _, want := range []string{
+		`starvesim_packets_sent_total{flow="rtt40"} 1`,
+		`starvesim_packets_delivered_total{flow="flow1"} 1`,
+		`starvesim_queue_depth_max_bytes 3000`,
+		`starvesim_sim_events_fired_total 42`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package obs
+
+import "starvation/internal/packet"
+
+// FlowCounters is the per-flow section of a Snapshot. All fields are
+// derivable from the event stream: PacketsSent is enqueues plus drops
+// (every transmitted segment either enters the bottleneck or is discarded
+// on the way in), so an event-fed Registry and the emulator's own element
+// counters agree exactly.
+type FlowCounters struct {
+	Name string `json:"name"`
+
+	PacketsSent      int64 `json:"packets_sent"`
+	PacketsEnqueued  int64 `json:"packets_enqueued"`
+	PacketsDropped   int64 `json:"packets_dropped"`
+	PacketsMarked    int64 `json:"packets_marked"`
+	PacketsDelivered int64 `json:"packets_delivered"`
+	Retransmits      int64 `json:"retransmits"`
+	AcksReceived     int64 `json:"acks_received"`
+
+	BytesSent      int64 `json:"bytes_sent"`
+	BytesEnqueued  int64 `json:"bytes_enqueued"`
+	BytesAcked     int64 `json:"bytes_acked"`
+	BytesDelivered int64 `json:"bytes_delivered"`
+
+	CwndUpdates int64 `json:"cwnd_updates"`
+	RateSamples int64 `json:"rate_samples"`
+}
+
+// Counters is the global section of a Snapshot.
+type Counters struct {
+	PacketsEnqueued  int64 `json:"packets_enqueued"`
+	PacketsDequeued  int64 `json:"packets_dequeued"`
+	PacketsDropped   int64 `json:"packets_dropped"`
+	PacketsMarked    int64 `json:"packets_marked"`
+	PacketsDelivered int64 `json:"packets_delivered"`
+	AcksReceived     int64 `json:"acks_received"`
+	BytesEnqueued    int64 `json:"bytes_enqueued"`
+	MaxQueueBytes    int64 `json:"max_queue_bytes"`
+
+	// Event-loop gauges, filled only by the emulator's end-of-run snapshot
+	// (the packet event stream does not carry them).
+	SimEventsScheduled uint64 `json:"sim_events_scheduled"`
+	SimEventsFired     uint64 `json:"sim_events_fired"`
+}
+
+// Snapshot is a point-in-time copy of the registry: global counters plus
+// one FlowCounters per flow, indexed by FlowID.
+type Snapshot struct {
+	Global Counters       `json:"global"`
+	Flows  []FlowCounters `json:"flows"`
+}
+
+// Flow returns the counters for id, growing the slice as needed so
+// out-of-order flow discovery is harmless.
+func (s *Snapshot) Flow(id packet.FlowID) *FlowCounters {
+	for int(id) >= len(s.Flows) {
+		s.Flows = append(s.Flows, FlowCounters{})
+	}
+	return &s.Flows[id]
+}
+
+// Registry is a Probe that folds the event stream into counters. It is
+// single-goroutine like the simulator itself and needs no locking.
+type Registry struct {
+	snap Snapshot
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Emit implements Probe.
+func (r *Registry) Emit(e Event) {
+	f := r.snap.Flow(e.Flow)
+	g := &r.snap.Global
+	switch e.Type {
+	case EvEnqueue:
+		f.PacketsSent++
+		f.PacketsEnqueued++
+		f.BytesSent += int64(e.Bytes)
+		f.BytesEnqueued += int64(e.Bytes)
+		if e.Retx {
+			f.Retransmits++
+		}
+		g.PacketsEnqueued++
+		g.BytesEnqueued += int64(e.Bytes)
+		if q := int64(e.Queue); q > g.MaxQueueBytes {
+			g.MaxQueueBytes = q
+		}
+	case EvDrop:
+		f.PacketsSent++
+		f.PacketsDropped++
+		f.BytesSent += int64(e.Bytes)
+		if e.Retx {
+			f.Retransmits++
+		}
+		g.PacketsDropped++
+	case EvMark:
+		f.PacketsMarked++
+		g.PacketsMarked++
+	case EvDequeue:
+		g.PacketsDequeued++
+	case EvDeliver:
+		f.PacketsDelivered++
+		f.BytesDelivered += int64(e.Bytes)
+		g.PacketsDelivered++
+	case EvAckRecv:
+		f.AcksReceived++
+		f.BytesAcked += int64(e.Bytes)
+		g.AcksReceived++
+	case EvCwndUpdate:
+		f.CwndUpdates++
+	case EvRateSample:
+		f.RateSamples++
+	}
+}
+
+// Snapshot returns a deep copy of the current counters.
+func (r *Registry) Snapshot() Snapshot {
+	out := r.snap
+	out.Flows = append([]FlowCounters(nil), r.snap.Flows...)
+	return out
+}

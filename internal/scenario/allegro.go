@@ -35,7 +35,7 @@ func allegroFlow(name string, seed int64, loss float64) network.FlowSpec {
 func AllegroRandomLoss(o Opts) *Result {
 	o.fill(60 * time.Second)
 	n := network.New(
-		network.Config{Rate: units.Mbps(allegroRate), BufferBytes: allegroBDP(), Seed: o.Seed},
+		network.Config{Rate: units.Mbps(allegroRate), BufferBytes: allegroBDP(), Seed: o.Seed, Probe: o.Probe},
 		allegroFlow("lossy", o.Seed*13+1, 0.02),
 		allegroFlow("clean", o.Seed*13+2, 0),
 	)
@@ -58,7 +58,7 @@ func AllegroRandomLoss(o Opts) *Result {
 func AllegroBothLossy(o Opts) *Result {
 	o.fill(60 * time.Second)
 	n := network.New(
-		network.Config{Rate: units.Mbps(allegroRate), BufferBytes: allegroBDP(), Seed: o.Seed},
+		network.Config{Rate: units.Mbps(allegroRate), BufferBytes: allegroBDP(), Seed: o.Seed, Probe: o.Probe},
 		allegroFlow("lossy0", o.Seed*13+1, 0.02),
 		allegroFlow("lossy1", o.Seed*13+2, 0.02),
 	)
@@ -83,7 +83,7 @@ func AllegroBothLossy(o Opts) *Result {
 func AllegroSingleLossy(o Opts) *Result {
 	o.fill(60 * time.Second)
 	n := network.New(
-		network.Config{Rate: units.Mbps(allegroRate), BufferBytes: allegroBDP(), Seed: o.Seed},
+		network.Config{Rate: units.Mbps(allegroRate), BufferBytes: allegroBDP(), Seed: o.Seed, Probe: o.Probe},
 		allegroFlow("lossy", o.Seed*13+1, 0.02),
 	)
 	res := n.Run(o.Duration)

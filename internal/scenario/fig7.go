@@ -25,6 +25,7 @@ func fig7(o Opts, id, name string, mk func() cca.Algorithm, claim string) *Resul
 			Rate:        units.Mbps(6),
 			BufferBytes: 60 * endpoint.DefaultMSS,
 			Seed:        o.Seed,
+			Probe:       o.Probe,
 		},
 		network.FlowSpec{
 			Name: "delacked",

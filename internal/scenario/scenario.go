@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"starvation/internal/network"
+	"starvation/internal/obs"
 )
 
 // Result is one scenario outcome.
@@ -66,6 +67,11 @@ type Opts struct {
 	Seed int64
 	// Duration overrides the run length (default per scenario).
 	Duration time.Duration
+	// Probe, when non-nil, receives the packet-lifecycle event stream of
+	// every network the scenario assembles (wired into network.Config).
+	// It never alters scheduling or randomness: a run with a probe is
+	// event-for-event identical to one without.
+	Probe obs.Probe
 }
 
 func (o *Opts) fill(defaultDur time.Duration) {

@@ -21,6 +21,7 @@ type event struct {
 	at   Time
 	seq  uint64 // tie-break: FIFO among equal timestamps
 	fn   func()
+	sim  *Simulator
 	dead bool
 	idx  int
 }
@@ -31,8 +32,16 @@ type Handle struct{ ev *event }
 // Cancel prevents the event from firing. Cancelling an already-fired or
 // already-cancelled event is a no-op.
 func (h Handle) Cancel() {
-	if h.ev != nil {
-		h.ev.dead = true
+	ev := h.ev
+	if ev == nil || ev.dead {
+		return
+	}
+	ev.dead = true
+	if ev.idx >= 0 {
+		// Still in the queue: it leaves the live population now; the heap
+		// pop that eventually discards the corpse must not count it again.
+		ev.sim.live--
+		ev.sim.cancelled++
 	}
 }
 
@@ -70,12 +79,14 @@ func (h *eventHeap) Pop() any {
 
 // Simulator owns the virtual clock and the event queue.
 type Simulator struct {
-	now    Time
-	queue  eventHeap
-	seq    uint64
-	fired  uint64
-	rng    *rand.Rand
-	halted bool
+	now       Time
+	queue     eventHeap
+	seq       uint64
+	fired     uint64
+	cancelled uint64
+	live      int // scheduled and not yet fired or cancelled
+	rng       *rand.Rand
+	halted    bool
 }
 
 // New returns a simulator whose RNG is seeded with seed. All stochastic
@@ -94,14 +105,28 @@ func (s *Simulator) Rand() *rand.Rand { return s.rng }
 // Events returns the number of events fired so far (useful for benchmarks).
 func (s *Simulator) Events() uint64 { return s.fired }
 
+// Stats summarizes event-loop activity for observability snapshots.
+type Stats struct {
+	Scheduled uint64 // events ever scheduled
+	Fired     uint64 // events executed
+	Cancelled uint64 // events cancelled while still queued
+	Live      int    // events currently awaiting dispatch
+}
+
+// Stats returns the event-loop counters.
+func (s *Simulator) Stats() Stats {
+	return Stats{Scheduled: s.seq, Fired: s.fired, Cancelled: s.cancelled, Live: s.live}
+}
+
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // panics: that is always a logic error in a network element.
 func (s *Simulator) At(t Time, fn func()) Handle {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
 	}
-	ev := &event{at: t, seq: s.seq, fn: fn}
+	ev := &event{at: t, seq: s.seq, fn: fn, sim: s}
 	s.seq++
+	s.live++
 	heap.Push(&s.queue, ev)
 	return Handle{ev}
 }
@@ -129,10 +154,11 @@ func (s *Simulator) Run(horizon Time) {
 		}
 		heap.Pop(&s.queue)
 		if ev.dead {
-			continue
+			continue // already uncounted at Cancel time
 		}
 		s.now = ev.at
 		s.fired++
+		s.live--
 		ev.fn()
 	}
 	if s.now < horizon {
@@ -150,19 +176,14 @@ func (s *Simulator) Step() bool {
 		}
 		s.now = ev.at
 		s.fired++
+		s.live--
 		ev.fn()
 		return true
 	}
 	return false
 }
 
-// Pending returns the number of live events in the queue.
-func (s *Simulator) Pending() int {
-	n := 0
-	for _, ev := range s.queue {
-		if !ev.dead {
-			n++
-		}
-	}
-	return n
-}
+// Pending returns the number of live events in the queue. It is O(1): the
+// simulator maintains the count across schedule, cancel, and dispatch, so
+// elements may poll it in hot paths.
+func (s *Simulator) Pending() int { return s.live }

@@ -257,3 +257,58 @@ func TestQuickNestedCausality(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestStatsAndLiveCounter exercises the O(1) Pending bookkeeping across
+// schedule, double-cancel, cancel-after-fire, and dispatch.
+func TestStatsAndLiveCounter(t *testing.T) {
+	s := New(1)
+	h1 := s.At(time.Millisecond, func() {})
+	h2 := s.At(2*time.Millisecond, func() {})
+	s.At(3*time.Millisecond, func() {})
+	if got := s.Pending(); got != 3 {
+		t.Fatalf("Pending = %d, want 3", got)
+	}
+	h2.Cancel()
+	h2.Cancel() // double cancel must not double-decrement
+	if got := s.Pending(); got != 2 {
+		t.Fatalf("Pending after cancel = %d, want 2", got)
+	}
+	s.Run(time.Second)
+	h1.Cancel() // cancelling a fired event is a no-op for the counters
+	if got := s.Pending(); got != 0 {
+		t.Fatalf("Pending after run = %d, want 0", got)
+	}
+	st := s.Stats()
+	if st.Scheduled != 3 || st.Fired != 2 || st.Cancelled != 1 || st.Live != 0 {
+		t.Errorf("Stats = %+v, want {3 2 1 0}", st)
+	}
+}
+
+// TestPendingMatchesQueueScan cross-checks the maintained counter against a
+// brute-force scan under a random schedule/cancel/step workload.
+func TestPendingMatchesQueueScan(t *testing.T) {
+	s := New(7)
+	rng := rand.New(rand.NewSource(99))
+	var handles []Handle
+	for i := 0; i < 500; i++ {
+		switch rng.Intn(3) {
+		case 0:
+			handles = append(handles, s.After(time.Duration(rng.Intn(50))*time.Millisecond, func() {}))
+		case 1:
+			if len(handles) > 0 {
+				handles[rng.Intn(len(handles))].Cancel()
+			}
+		case 2:
+			s.Step()
+		}
+		scan := 0
+		for _, ev := range s.queue {
+			if !ev.dead {
+				scan++
+			}
+		}
+		if scan != s.Pending() {
+			t.Fatalf("step %d: Pending = %d, scan = %d", i, s.Pending(), scan)
+		}
+	}
+}

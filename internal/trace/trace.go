@@ -121,7 +121,10 @@ func (s *Series) WriteCSV(w io.Writer) error {
 }
 
 // WriteMultiCSV writes several series resampled onto a shared grid as one
-// CSV table with a t_seconds column.
+// CSV table with a t_seconds column. Grid points a series has no sample
+// for yet (before its first point) are written as empty cells, which CSV
+// consumers read as missing data — a literal NaN token breaks several
+// strict parsers.
 func WriteMultiCSV(w io.Writer, start, end, step time.Duration, series ...*Series) error {
 	if _, err := fmt.Fprint(w, "t_seconds"); err != nil {
 		return err
@@ -139,7 +142,14 @@ func WriteMultiCSV(w io.Writer, start, end, step time.Duration, series ...*Serie
 			return err
 		}
 		for _, s := range series {
-			if _, err := fmt.Fprintf(w, ",%.6g", s.At(t, math.NaN())); err != nil {
+			v := s.At(t, math.NaN())
+			if math.IsNaN(v) {
+				if _, err := fmt.Fprint(w, ","); err != nil {
+					return err
+				}
+				continue
+			}
+			if _, err := fmt.Fprintf(w, ",%.6g", v); err != nil {
 				return err
 			}
 		}

@@ -131,6 +131,102 @@ func TestWriteMultiCSV(t *testing.T) {
 	}
 }
 
+func TestShiftPastLastSample(t *testing.T) {
+	s := mkSeries(1, 2, 3) // samples at 0s, 1s, 2s
+	sh := s.Shift(time.Hour)
+	if sh.Len() != 0 {
+		t.Errorf("shift past last sample kept %d points: %v", sh.Len(), sh.Points)
+	}
+	if sh.Name != s.Name {
+		t.Errorf("shifted name = %q, want %q", sh.Name, s.Name)
+	}
+	// Offset exactly on a sample keeps that sample at t=0.
+	edge := s.Shift(2 * time.Second)
+	if edge.Len() != 1 || edge.Points[0].T != 0 || edge.Points[0].V != 3 {
+		t.Errorf("shift onto last sample = %v, want [(0, 3)]", edge.Points)
+	}
+}
+
+func TestAtExactBoundary(t *testing.T) {
+	s := mkSeries(1, 2) // samples at 0s, 1s
+	// t exactly equal to a sample time takes that sample (step functions
+	// are right-continuous: the sample takes effect at its own timestamp).
+	if got := s.At(0, -1); got != 1 {
+		t.Errorf("At(0) = %v, want 1", got)
+	}
+	if got := s.At(time.Second, -1); got != 2 {
+		t.Errorf("At(1s) = %v, want 2", got)
+	}
+	// One nanosecond earlier still reads the previous step.
+	if got := s.At(time.Second-time.Nanosecond, -1); got != 1 {
+		t.Errorf("At(1s-1ns) = %v, want 1", got)
+	}
+}
+
+func TestResampleStepLargerThanRange(t *testing.T) {
+	s := mkSeries(4, 5)
+	// step > end-start: only the start grid point exists.
+	r := s.Resample(0, time.Second, time.Minute, -1)
+	if r.Len() != 1 || r.Points[0].T != 0 || r.Points[0].V != 4 {
+		t.Errorf("resample with step>range = %v, want [(0, 4)]", r.Points)
+	}
+	// start == end degenerates to a single point too.
+	r = s.Resample(time.Second, time.Second, time.Minute, -1)
+	if r.Len() != 1 || r.Points[0].V != 5 {
+		t.Errorf("resample with start==end = %v, want [(1s, 5)]", r.Points)
+	}
+}
+
+func TestEmptySeriesStats(t *testing.T) {
+	s := &Series{Name: "empty"}
+	if _, _, ok := s.MinMax(0, time.Hour); ok {
+		t.Error("MinMax on empty series reported ok")
+	}
+	if _, ok := s.Mean(0, time.Hour); ok {
+		t.Error("Mean on empty series reported ok")
+	}
+	if got := s.Shift(time.Second).Len(); got != 0 {
+		t.Errorf("Shift on empty series has %d points", got)
+	}
+	r := s.Resample(0, time.Second, time.Second, 42)
+	for _, p := range r.Points {
+		if p.V != 42 {
+			t.Errorf("resampled empty series point %v, want default 42", p)
+		}
+	}
+}
+
+// A series whose first sample lies inside the grid must render leading
+// empty cells, not literal NaN tokens (strict CSV parsers reject those).
+func TestWriteMultiCSVMissingCells(t *testing.T) {
+	late := &Series{Name: "late"}
+	late.Add(2*time.Second, 7)
+	full := mkSeries(1, 2, 3)
+	var sb strings.Builder
+	if err := WriteMultiCSV(&sb, 0, 2*time.Second, time.Second, full, late); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Contains(out, "NaN") {
+		t.Errorf("output contains literal NaN: %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	want := []string{
+		"t_seconds,test,late",
+		"0.000000,1,",
+		"1.000000,2,",
+		"2.000000,3,7",
+	}
+	if len(lines) != len(want) {
+		t.Fatalf("lines = %d, want %d: %q", len(lines), len(want), out)
+	}
+	for i, w := range want {
+		if lines[i] != w {
+			t.Errorf("line %d = %q, want %q", i, lines[i], w)
+		}
+	}
+}
+
 func TestASCIIPlot(t *testing.T) {
 	s := mkSeries(1, 5, 3, 9, 2)
 	out := ASCIIPlot(s, 40, 8, "rtt")
