@@ -2,9 +2,15 @@
 // output directory: CSV data, ASCII previews, and a markdown summary with
 // paper-vs-measured rows (the source material for EXPERIMENTS.md).
 //
+// Each section runs under the run-guard layer: a panic or a blown
+// -deadline is recorded as a structured RunError and the batch continues
+// with the next section. The collected failures are always written to
+// <out>/errors.json — an empty list means a clean batch — and a non-empty
+// list makes the command exit 1 after the batch completes.
+//
 // Usage:
 //
-//	figures [-out results] [-quick] [-only F3,T5.2]
+//	figures [-out results] [-quick] [-only F3,T5.2] [-deadline 10m]
 package main
 
 import (
@@ -13,10 +19,12 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"time"
 
 	"starvation/internal/ccac"
 	"starvation/internal/core"
+	"starvation/internal/guard"
 	"starvation/internal/obs"
 	"starvation/internal/scenario"
 	"starvation/internal/trace"
@@ -24,13 +32,18 @@ import (
 )
 
 var (
-	outDir = flag.String("out", "results", "output directory")
-	quick  = flag.Bool("quick", false, "shorter runs (coarser data)")
-	only   = flag.String("only", "", "comma-separated experiment IDs to run")
-	obsDir = flag.String("obs", "", "also write per-scenario event traces (JSONL) and Prometheus metrics for the §5 runs into this directory")
+	outDir   = flag.String("out", "results", "output directory")
+	quick    = flag.Bool("quick", false, "shorter runs (coarser data)")
+	only     = flag.String("only", "", "comma-separated experiment IDs to run")
+	obsDir   = flag.String("obs", "", "also write per-scenario event traces (JSONL) and Prometheus metrics for the §5 runs into this directory")
+	deadline = flag.Duration("deadline", 0, "wall-clock budget per section; a section exceeding it is abandoned and recorded in errors.json (0 = no limit)")
 )
 
+// reporter accumulates the markdown summary. It is mutex-guarded because a
+// section abandoned on deadline keeps running in its goroutine (Go cannot
+// kill it) and may still emit rows while the batch moves on.
 type reporter struct {
+	mu      sync.Mutex
 	summary strings.Builder
 	filter  map[string]bool
 }
@@ -43,29 +56,79 @@ func (r *reporter) wants(id string) bool {
 }
 
 func (r *reporter) section(id, title string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	fmt.Fprintf(&r.summary, "\n## %s — %s\n\n", id, title)
 	fmt.Printf("=== %s — %s\n", id, title)
 }
 
 func (r *reporter) row(format string, args ...any) {
 	line := fmt.Sprintf(format, args...)
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	fmt.Fprintf(&r.summary, "%s\n", line)
 	fmt.Println(line)
 }
 
+func (r *reporter) text() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.summary.String()
+}
+
+// save panics on I/O errors rather than exiting: sections run under
+// guard.Section, which converts the panic into a RunError and lets the
+// rest of the batch produce its figures.
 func (r *reporter) save(name string, write func(f *os.File) error) {
 	path := filepath.Join(*outDir, name)
 	f, err := os.Create(path)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "figures: %v\n", err)
-		os.Exit(1)
+		panic(fmt.Sprintf("figures: %v", err))
 	}
 	defer f.Close()
 	if err := write(f); err != nil {
-		fmt.Fprintf(os.Stderr, "figures: writing %s: %v\n", path, err)
-		os.Exit(1)
+		panic(fmt.Sprintf("figures: writing %s: %v", path, err))
 	}
 	r.row("- data: `%s`", path)
+}
+
+// batchSection is one independently guarded unit of the batch.
+type batchSection struct {
+	id string
+	fn func(*reporter)
+}
+
+var sections = []batchSection{
+	{"F1", fig1},
+	{"F3", fig3},
+	{"F4", fig4},
+	{"F5", fig5},
+	{"F7", fig7},
+	{"T5", tables5},
+	{"T6.3", table63},
+	{"X-A1-ablation", ablation},
+	{"X-ECN", ecnSection},
+	{"X-T2", theorem2},
+	{"X-T3", theorem3},
+	{"X-CCAC", appendixC},
+}
+
+// runBatch runs every wanted section under guard.Section, collecting
+// failures instead of aborting: one panicking or deadline-blown section
+// costs only its own figures.
+func runBatch(r *reporter, secs []batchSection, perSection time.Duration) guard.Manifest {
+	var man guard.Manifest
+	for _, s := range secs {
+		if !r.wants(s.id) {
+			continue
+		}
+		fn := s.fn
+		if e := guard.Section(s.id, perSection, func() { fn(r) }); e != nil {
+			fmt.Fprintf(os.Stderr, "figures: %v (continuing)\n", e)
+			man.Add(e)
+		}
+	}
+	return man
 }
 
 func main() {
@@ -90,49 +153,23 @@ func main() {
 	fmt.Fprintf(&r.summary, "# Regenerated figures and tables\n\ngenerated %s, quick=%v\n",
 		time.Now().Format(time.RFC3339), *quick)
 
-	if r.wants("F1") {
-		fig1(r)
-	}
-	if r.wants("F3") {
-		fig3(r)
-	}
-	if r.wants("F4") {
-		fig4(r)
-	}
-	if r.wants("F5") {
-		fig5(r)
-	}
-	if r.wants("F7") {
-		fig7(r)
-	}
-	if r.wants("T5") {
-		tables5(r)
-	}
-	if r.wants("T6.3") {
-		table63(r)
-	}
-	if r.wants("X-A1-ablation") {
-		ablation(r)
-	}
-	if r.wants("X-ECN") {
-		ecnSection(r)
-	}
-	if r.wants("X-T2") {
-		theorem2(r)
-	}
-	if r.wants("X-T3") {
-		theorem3(r)
-	}
-	if r.wants("X-CCAC") {
-		appendixC(r)
-	}
+	man := runBatch(r, sections, *deadline)
 
+	errPath := filepath.Join(*outDir, "errors.json")
+	if err := man.WriteFile(errPath); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	sumPath := filepath.Join(*outDir, "summary.md")
-	if err := os.WriteFile(sumPath, []byte(r.summary.String()), 0o644); err != nil {
+	if err := os.WriteFile(sumPath, []byte(r.text()), 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	fmt.Printf("\nsummary written to %s\n", sumPath)
+	if len(man.Errors) > 0 {
+		fmt.Fprintf(os.Stderr, "figures: %d section(s) failed; see %s\n", len(man.Errors), errPath)
+		os.Exit(1)
+	}
 }
 
 func dur(long, short time.Duration) time.Duration {
@@ -237,7 +274,8 @@ func fig7(r *reporter) {
 func tables5(r *reporter) {
 	r.section("T5", "§5 starvation experiments")
 	for _, name := range []string{"copa-single", "copa-two", "bbr-two",
-		"vivace-ackagg", "allegro-loss", "allegro-both", "allegro-single"} {
+		"vivace-ackagg", "allegro-loss", "allegro-burst", "allegro-both",
+		"allegro-single"} {
 		opts := scenario.Opts{Duration: dur(0, 30*time.Second)}
 		finish := observe(name, &opts)
 		res := scenario.Registry[name](opts)
@@ -254,9 +292,10 @@ func observe(name string, opts *scenario.Opts) func(*scenario.Result) {
 	if *obsDir == "" {
 		return func(*scenario.Result) {}
 	}
+	// Panic, not exit: observe is only called from inside a guarded
+	// section, so the batch records the failure and continues.
 	fail := func(err error) {
-		fmt.Fprintf(os.Stderr, "figures: -obs: %v\n", err)
-		os.Exit(1)
+		panic(fmt.Sprintf("figures: -obs: %v", err))
 	}
 	f, err := os.Create(filepath.Join(*obsDir, name+"_events.jsonl"))
 	if err != nil {

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"starvation/internal/guard"
+)
+
+// TestBatchDegradesGracefully forces one panicking section and one
+// deadline-exceeding section into a batch and checks the remaining
+// sections still run, the failures land in the manifest with the right
+// kinds, and the manifest serializes to a readable errors.json.
+func TestBatchDegradesGracefully(t *testing.T) {
+	dir := t.TempDir()
+	oldOut := *outDir
+	*outDir = dir
+	defer func() { *outDir = oldOut }()
+
+	release := make(chan struct{})
+	defer close(release)
+	r := &reporter{}
+	secs := []batchSection{
+		{"ok-before", func(r *reporter) { r.row("- ok-before ran") }},
+		{"boom", func(*reporter) { panic("forced failure") }},
+		{"stuck", func(*reporter) { <-release }},
+		{"ok-after", func(r *reporter) { r.row("- ok-after ran") }},
+	}
+	man := runBatch(r, secs, 50*time.Millisecond)
+
+	if len(man.Errors) != 2 {
+		t.Fatalf("manifest has %d errors, want 2: %+v", len(man.Errors), man.Errors)
+	}
+	if man.Errors[0].Scenario != "boom" || man.Errors[0].Kind != guard.KindPanic {
+		t.Errorf("first error = %+v, want scenario boom kind panic", man.Errors[0])
+	}
+	if !strings.Contains(man.Errors[0].Msg, "forced failure") {
+		t.Errorf("panic message %q does not carry the panic value", man.Errors[0].Msg)
+	}
+	if man.Errors[0].Stack == "" {
+		t.Errorf("panic error has no stack trace")
+	}
+	if man.Errors[1].Scenario != "stuck" || man.Errors[1].Kind != guard.KindDeadline {
+		t.Errorf("second error = %+v, want scenario stuck kind deadline", man.Errors[1])
+	}
+	sum := r.text()
+	for _, want := range []string{"ok-before ran", "ok-after ran"} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("summary missing %q: sections after a failure must still run", want)
+		}
+	}
+
+	errPath := filepath.Join(dir, "errors.json")
+	if err := man.WriteFile(errPath); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	data, err := os.ReadFile(errPath)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	var got guard.Manifest
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("errors.json is not valid JSON: %v", err)
+	}
+	if len(got.Errors) != 2 {
+		t.Fatalf("round-tripped manifest has %d errors, want 2", len(got.Errors))
+	}
+}
+
+// TestBatchCleanManifest checks a failure-free batch writes an explicit
+// empty error list, distinguishing "clean" from "never ran".
+func TestBatchCleanManifest(t *testing.T) {
+	dir := t.TempDir()
+	r := &reporter{}
+	man := runBatch(r, []batchSection{
+		{"fine", func(r *reporter) { r.row("- fine") }},
+	}, 0)
+	if len(man.Errors) != 0 {
+		t.Fatalf("unexpected errors: %+v", man.Errors)
+	}
+	errPath := filepath.Join(dir, "errors.json")
+	if err := man.WriteFile(errPath); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	data, err := os.ReadFile(errPath)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if !strings.Contains(string(data), `"errors": []`) {
+		t.Errorf("empty manifest = %q, want explicit empty errors list", data)
+	}
+}
+
+// TestReporterSaveRecoverable checks save failures surface as panics (so
+// guard.Section can record them) rather than killing the process.
+func TestReporterSaveRecoverable(t *testing.T) {
+	oldOut := *outDir
+	*outDir = filepath.Join(t.TempDir(), "missing", "nested")
+	defer func() { *outDir = oldOut }()
+	r := &reporter{}
+	e := guard.Section("save-fail", 0, func() {
+		r.save("x.csv", func(*os.File) error { return nil })
+	})
+	if e == nil || e.Kind != guard.KindPanic {
+		t.Fatalf("save into missing dir: got %+v, want captured panic", e)
+	}
+}
+
+// TestSectionsFilter checks -only filtering skips unguarded work entirely.
+func TestSectionsFilter(t *testing.T) {
+	r := &reporter{filter: map[string]bool{"b": true}}
+	var ran []string
+	man := runBatch(r, []batchSection{
+		{"a", func(*reporter) { ran = append(ran, "a") }},
+		{"b", func(*reporter) { ran = append(ran, "b") }},
+	}, 0)
+	if len(man.Errors) != 0 {
+		t.Fatalf("unexpected errors: %+v", man.Errors)
+	}
+	if len(ran) != 1 || ran[0] != "b" {
+		t.Fatalf("ran %v, want [b]", ran)
+	}
+}

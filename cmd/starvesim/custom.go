@@ -9,6 +9,8 @@ import (
 
 	"starvation/internal/cca"
 	"starvation/internal/endpoint"
+	"starvation/internal/guard"
+	"starvation/internal/netem/faults"
 	"starvation/internal/netem/jitter"
 	"starvation/internal/network"
 	"starvation/internal/obs"
@@ -38,9 +40,11 @@ type customFlags struct {
 	rm1, rm2     time.Duration
 	jitterSpec   string // applied to flow 1: kind:value, e.g. "uniform:5ms"
 	loss1        float64
+	faultsSpec   string // flow 0 impairments + link schedule, see faults.ParseProfile
 	ackAggregate time.Duration // flow 1 ACK aggregation period
 	duration     time.Duration
 	seed         int64
+	guard        *guard.Options // nil disables the run-guard layer
 }
 
 // runCustom assembles and runs the freeform scenario, streaming events to
@@ -73,6 +77,17 @@ func runCustom(f customFlags, probe obs.Probe) (*network.Result, error) {
 	if f.ackAggregate > 0 {
 		spec1.Ack = endpoint.AckConfig{AggregatePeriod: f.ackAggregate}
 	}
+	var rateSched *faults.RateSchedule
+	if f.faultsSpec != "" {
+		prof, err := faults.ParseProfile(f.faultsSpec)
+		if err != nil {
+			return nil, err
+		}
+		if !prof.Flow.Empty() {
+			spec1.Faults = &prof.Flow
+		}
+		rateSched = prof.Link
+	}
 
 	specs := []network.FlowSpec{spec1}
 	if f.cca2 != "" {
@@ -84,12 +99,20 @@ func runCustom(f customFlags, probe obs.Probe) (*network.Result, error) {
 	}
 
 	cfg := network.Config{
-		Rate:        units.Mbps(f.rateMbps),
-		BufferBytes: f.bufferPkts * endpoint.DefaultMSS,
-		Seed:        f.seed,
-		Probe:       probe,
+		Rate:         units.Mbps(f.rateMbps),
+		BufferBytes:  f.bufferPkts * endpoint.DefaultMSS,
+		RateSchedule: rateSched,
+		Guard:        f.guard,
+		Seed:         f.seed,
+		Probe:        probe,
 	}
-	return network.New(cfg, specs...).Run(f.duration), nil
+	// NewChecked, not New: a malformed CLI config is a usage error the
+	// caller reports in one line (exit 2), not a panic trace.
+	n, err := network.NewChecked(cfg, specs...)
+	if err != nil {
+		return nil, err
+	}
+	return n.Run(f.duration), nil
 }
 
 // parseJitter turns "kind:value" into a jitter policy. Kinds: const,
@@ -150,4 +173,11 @@ func parseJitter(spec string, seed int64) (jitter.Policy, error) {
 func fatalf(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, format+"\n", args...)
 	os.Exit(1)
+}
+
+// usagef reports a malformed configuration (bad flag value, invalid
+// network spec) with the conventional usage-error status.
+func usagef(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(2)
 }

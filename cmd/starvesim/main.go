@@ -13,7 +13,15 @@
 // JSONL for offline analysis; -metrics writes the end-of-run counters
 // registry in Prometheus text format. Both observe a single scenario:
 // combine them with one -scenario name (or -cca), not "all".
-// Exit status is 0 unless the scenario name is unknown.
+//
+// -guard enables the run-guard layer (stall watchdog, conservation
+// checks); -deadline adds a wall-clock budget per run. -faults injects
+// path impairments in freeform (-cca) mode, e.g.
+//
+//	starvesim -cca allegro -cca2 allegro -faults "ge:0.008,0.2,0.5;flap:5s,200ms"
+//
+// Exit status: 0 on success, 1 on runtime failure (unknown scenario,
+// guard deadline), 2 on a malformed configuration.
 package main
 
 import (
@@ -22,6 +30,7 @@ import (
 	"os"
 	"time"
 
+	"starvation/internal/guard"
 	"starvation/internal/network"
 	"starvation/internal/obs"
 	"starvation/internal/scenario"
@@ -37,9 +46,13 @@ func main() {
 		tracePath   = flag.String("trace", "", "write packet-lifecycle events as JSONL to this file")
 		metricsPath = flag.String("metrics", "", "write the counters registry in Prometheus text format to this file")
 
+		guardOn  = flag.Bool("guard", false, "enable the run-guard layer (stall watchdog, conservation checks)")
+		deadline = flag.Duration("deadline", 0, "wall-clock budget per run; exceeding it halts the run (implies -guard)")
+
 		// Freeform mode: -cca selects it; everything else is optional.
 		cca1   = flag.String("cca", "", "freeform mode: CCA for flow 0 (e.g. vegas, bbr)")
 		cca2   = flag.String("cca2", "", "freeform mode: CCA for flow 1 (empty = single flow)")
+		fspec  = flag.String("faults", "", "freeform mode: flow 0 impairments and link schedule, semicolon-separated clauses (ge:pG2B,pB2G,pDropBad | reorder:p,delay | dup:p | flap:period,down | rate:at=mbps,...)")
 		rate   = flag.Float64("rate", 48, "freeform mode: bottleneck Mbit/s")
 		buffer = flag.Int("buffer", 0, "freeform mode: buffer in packets (0 = infinite)")
 		rm1    = flag.Duration("rm", 50*time.Millisecond, "freeform mode: flow 0 propagation RTT")
@@ -70,6 +83,11 @@ func main() {
 		fatalf("starvesim: %v", err)
 	}
 
+	guardOpts := guardOptions(*guardOn, *deadline)
+	if *fspec != "" && *cca1 == "" {
+		usagef("starvesim: -faults applies to freeform (-cca) mode; scenarios define their own impairments")
+	}
+
 	if *cca1 != "" {
 		d := *duration
 		if d <= 0 {
@@ -83,14 +101,17 @@ func main() {
 			cca1: *cca1, cca2: *cca2,
 			rateMbps: *rate, bufferPkts: *buffer,
 			rm1: *rm1, rm2: *rm2,
-			jitterSpec: *jspec, loss1: *loss1, ackAggregate: *ackPer,
-			duration: d, seed: s,
+			jitterSpec: *jspec, loss1: *loss1, faultsSpec: *fspec, ackAggregate: *ackPer,
+			duration: d, seed: s, guard: guardOpts,
 		}, sink.probe())
 		if err != nil {
-			fatalf("starvesim: %v", err)
+			// Everything runCustom can fail on is configuration: a typo'd
+			// CCA, jitter, or faults spec, or an invalid network config.
+			usagef("starvesim: %v", err)
 		}
 		fmt.Println(res)
 		sink.finish(res)
+		reportGuard(res)
 		return
 	}
 
@@ -105,15 +126,20 @@ func main() {
 		return
 	}
 
-	opts := scenario.Opts{Seed: *seed, Duration: *duration, Probe: sink.probe()}
+	opts := scenario.Opts{Seed: *seed, Duration: *duration, Probe: sink.probe(), Guard: guardOpts}
 	if *name == "all" {
+		code := 0
 		for _, n := range scenario.Names() {
-			run(n, opts)
+			if res := run(n, opts); guardFailed(res) {
+				fmt.Println(res.Guard.String())
+				code = 1
+			}
 		}
-		return
+		os.Exit(code)
 	}
 	res := run(*name, opts)
 	sink.finish(res)
+	reportGuard(res)
 }
 
 func run(name string, opts scenario.Opts) *network.Result {
@@ -122,6 +148,31 @@ func run(name string, opts scenario.Opts) *network.Result {
 	res := fn(opts)
 	fmt.Printf("%s(took %v)\n\n", res, time.Since(start).Round(time.Millisecond))
 	return res.Net
+}
+
+// guardOptions builds the run-guard configuration from the CLI flags; nil
+// when the layer is disabled.
+func guardOptions(on bool, deadline time.Duration) *guard.Options {
+	if !on && deadline <= 0 {
+		return nil
+	}
+	return &guard.Options{WallClock: deadline}
+}
+
+func guardFailed(res *network.Result) bool {
+	return res != nil && res.Guard != nil && !res.Guard.Ok()
+}
+
+// reportGuard prints the guard report of a single observed run and exits
+// non-zero when the guard terminated or failed it.
+func reportGuard(res *network.Result) {
+	if res == nil || res.Guard == nil {
+		return
+	}
+	if !res.Guard.Ok() {
+		fmt.Fprintln(os.Stderr, res.Guard.String())
+		os.Exit(1)
+	}
 }
 
 // obsSink bundles the CLI's observability outputs: an optional JSONL event

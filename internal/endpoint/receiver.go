@@ -81,7 +81,7 @@ func (r *Receiver) OnPacket(p packet.Packet) {
 	now := r.sim.Now()
 	if r.Probe != nil {
 		r.Probe.Emit(obs.Event{Type: obs.EvDeliver, At: now, Flow: r.flow,
-			Seq: p.Seq, Bytes: p.Size, Queue: -1, Retx: p.Retx})
+			Seq: p.Seq, Bytes: p.Size, Queue: -1, Retx: p.Retx, Dup: p.Dup})
 	}
 	newly := 0
 	inOrder := true

@@ -1,0 +1,133 @@
+package guard
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime/debug"
+	"time"
+)
+
+// ErrKind classifies a RunError.
+type ErrKind string
+
+const (
+	// KindPanic: the run panicked (element or scenario bug).
+	KindPanic ErrKind = "panic"
+	// KindDeadline: the run exceeded its wall-clock budget.
+	KindDeadline ErrKind = "deadline"
+	// KindInvariant: a guard invariant (conservation, stall) was treated
+	// as fatal by the caller.
+	KindInvariant ErrKind = "invariant"
+)
+
+// RunError is the structured failure of one scenario run: enough context
+// (scenario ID, seed, last observed event) to reproduce the failure
+// offline, in a form a batch driver can serialize and skip past.
+type RunError struct {
+	Scenario string  `json:"scenario"`
+	Seed     int64   `json:"seed,omitempty"`
+	Kind     ErrKind `json:"kind"`
+	Msg      string  `json:"msg"`
+	// At is the virtual time of the last observation before failure.
+	At time.Duration `json:"at_ns,omitempty"`
+	// LastEvent describes the last probe event before the failure, when a
+	// Monitor was watching the run.
+	LastEvent string `json:"last_event,omitempty"`
+	// Stack is the panic stack trace, when Kind is KindPanic.
+	Stack string `json:"stack,omitempty"`
+}
+
+// Error implements error.
+func (e *RunError) Error() string {
+	s := fmt.Sprintf("%s: %s: %s", e.Scenario, e.Kind, e.Msg)
+	if e.Seed != 0 {
+		s += fmt.Sprintf(" (seed %d)", e.Seed)
+	}
+	if e.LastEvent != "" {
+		s += fmt.Sprintf(" [last event: %s]", e.LastEvent)
+	}
+	return s
+}
+
+// Capture runs fn, converting a panic into a RunError tagged with the
+// scenario ID and seed. When a Monitor is supplied its last event is
+// attached as failure context. Returns nil when fn completes normally.
+func Capture(scenario string, seed int64, m *Monitor, fn func()) (rerr *RunError) {
+	defer func() {
+		if r := recover(); r != nil {
+			e := &RunError{
+				Scenario: scenario,
+				Seed:     seed,
+				Kind:     KindPanic,
+				Msg:      fmt.Sprint(r),
+				Stack:    string(debug.Stack()),
+			}
+			if m != nil {
+				if ev, ok := m.LastEvent(); ok {
+					e.At = ev.At
+					e.LastEvent = fmt.Sprintf("%s flow=%d seq=%d at=%v", ev.Type, ev.Flow, ev.Seq, ev.At)
+				}
+			}
+			rerr = e
+		}
+	}()
+	fn()
+	return nil
+}
+
+// Section runs fn under Capture with a wall-clock deadline. fn executes in
+// a separate goroutine; on deadline the goroutine is abandoned (Go offers
+// no way to kill it — it keeps running to completion in the background)
+// and a deadline RunError is returned so the caller's batch can continue.
+// A deadline of 0 disables the timer.
+func Section(id string, deadline time.Duration, fn func()) *RunError {
+	done := make(chan *RunError, 1)
+	go func() {
+		done <- Capture(id, 0, nil, fn)
+	}()
+	if deadline <= 0 {
+		return <-done
+	}
+	t := time.NewTimer(deadline)
+	defer t.Stop()
+	select {
+	case e := <-done:
+		return e
+	case <-t.C:
+		return &RunError{
+			Scenario: id,
+			Kind:     KindDeadline,
+			Msg:      fmt.Sprintf("exceeded wall-clock deadline %v; abandoned", deadline),
+		}
+	}
+}
+
+// Manifest accumulates the RunErrors of a batch for serialization to an
+// errors.json the next tool (or human) can triage.
+type Manifest struct {
+	Errors []*RunError `json:"errors"`
+}
+
+// Add appends e; nil errors are ignored so callers can add
+// unconditionally.
+func (m *Manifest) Add(e *RunError) {
+	if e != nil {
+		m.Errors = append(m.Errors, e)
+	}
+}
+
+// WriteFile serializes the manifest as indented JSON at path. An empty
+// manifest writes `{"errors": []}` rather than nothing, so consumers can
+// distinguish "clean batch" from "batch never ran".
+func (m *Manifest) WriteFile(path string) error {
+	out := m.Errors
+	if out == nil {
+		out = []*RunError{}
+	}
+	data, err := json.MarshalIndent(Manifest{Errors: out}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,292 @@
+package guard
+
+import (
+	"encoding/json"
+	"math/rand"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"starvation/internal/netem"
+	"starvation/internal/netem/faults"
+	"starvation/internal/obs"
+	"starvation/internal/packet"
+	"starvation/internal/sim"
+	"starvation/internal/units"
+)
+
+func TestFlowLedgerBalances(t *testing.T) {
+	fl := FlowLedger{
+		Name: "f", Sent: 100, Duplicated: 5,
+		DroppedPreQueue: 10, HeldPreQueue: 1, Enqueued: 90, DroppedAtQueue: 4,
+		HeldInQueue: 3, Dequeued: 87,
+		HeldPostQueue: 2, Delivered: 85,
+	}
+	if err := fl.Check(); err != nil {
+		t.Errorf("balanced ledger rejected: %v", err)
+	}
+	if fl.InFlight() != 6 {
+		t.Errorf("InFlight = %d, want 6", fl.InFlight())
+	}
+}
+
+func TestFlowLedgerImbalances(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*FlowLedger)
+		wantSub string
+	}{
+		{"negative entry", func(f *FlowLedger) { f.Sent = -1; f.Enqueued = -1 }, "negative ledger entry"},
+		{"pre-queue leak", func(f *FlowLedger) { f.Enqueued--; f.Dequeued--; f.Delivered-- }, "pre-queue imbalance"},
+		{"queue leak", func(f *FlowLedger) { f.Dequeued--; f.Delivered-- }, "queue imbalance"},
+		{"post-queue leak", func(f *FlowLedger) { f.Delivered-- }, "post-queue imbalance"},
+	}
+	for _, c := range cases {
+		fl := FlowLedger{Name: "f", Sent: 100, Enqueued: 100, Dequeued: 100, Delivered: 100}
+		c.mutate(&fl)
+		err := fl.Check()
+		if err == nil {
+			t.Errorf("%s: imbalance accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%s: error %q, want substring %q", c.name, err, c.wantSub)
+		}
+	}
+}
+
+func TestLedgerJoinsFlows(t *testing.T) {
+	lg := Ledger{Flows: []FlowLedger{
+		{Name: "ok", Sent: 10, Enqueued: 10, Dequeued: 10, Delivered: 10},
+		{Name: "leaky", Sent: 10, Enqueued: 9, Dequeued: 9, Delivered: 9},
+	}}
+	err := lg.Check()
+	if err == nil {
+		t.Fatal("leaky flow accepted")
+	}
+	if !strings.Contains(err.Error(), "leaky") || !strings.Contains(err.Error(), "global") {
+		t.Errorf("error %q should name the leaky flow and the global sum", err)
+	}
+	lg.Flows[1].Enqueued = 10
+	lg.Flows[1].Dequeued = 10
+	lg.Flows[1].Delivered = 10
+	if err := lg.Check(); err != nil {
+		t.Errorf("balanced ledger rejected: %v", err)
+	}
+}
+
+// TestRogueElementCaught is the acceptance case for the conservation
+// invariant: an element that silently swallows packets — dropping without
+// reporting to any counter — must break the ledger. The rig mirrors the
+// network pipeline: GE gate → rogue element → bottleneck → receiver count.
+func TestRogueElementCaught(t *testing.T) {
+	s := sim.New(1)
+	var delivered int64
+	link := netem.NewLink(s, units.Mbps(48), 0, func(packet.Packet) { delivered++ })
+	swallowed := 0
+	rogue := func(p packet.Packet) {
+		if p.Seq%5 == 4 { // silently eat every 5th packet
+			swallowed++
+			return
+		}
+		link.Enqueue(p)
+	}
+	gate := faults.NewGEGate(faults.GEConfig{PGoodToBad: 0.01, PBadToGood: 0.2, PDropBad: 0.5},
+		rand.New(rand.NewSource(5)), rogue)
+	const n = 1000
+	s.At(0, func() {
+		for i := 0; i < n; i++ {
+			gate.Send(packet.Packet{Seq: int64(i), Size: 1500})
+		}
+	})
+	s.Run(10 * time.Second)
+	if swallowed == 0 {
+		t.Fatal("rogue element swallowed nothing; rig broken")
+	}
+	ls := link.FlowStats(0)
+	fl := FlowLedger{
+		Name:            "rigged",
+		Sent:            n,
+		DroppedPreQueue: gate.Dropped,
+		Enqueued:        ls.Enqueued,
+		DroppedAtQueue:  ls.Dropped,
+		HeldInQueue:     ls.Holding,
+		Dequeued:        ls.Delivered,
+		Delivered:       delivered,
+	}
+	err := fl.Check()
+	if err == nil {
+		t.Fatalf("ledger balanced despite %d silently swallowed packets", swallowed)
+	}
+	if !strings.Contains(err.Error(), "pre-queue imbalance") {
+		t.Errorf("error %q, want the pre-queue segment to surface the leak", err)
+	}
+	// Same rig with the rogue element removed balances.
+	fl.Enqueued += int64(swallowed)
+	fl.Dequeued += int64(swallowed)
+	fl.Delivered += int64(swallowed)
+	if err := fl.Check(); err != nil {
+		t.Errorf("repaired ledger still unbalanced: %v", err)
+	}
+}
+
+func deliverEvent(flow packet.FlowID, at time.Duration) obs.Event {
+	return obs.Event{Type: obs.EvDeliver, Flow: flow, At: at, Seq: 1, Bytes: 1500}
+}
+
+func TestMonitorStallDetection(t *testing.T) {
+	m := NewMonitor()
+	m.Track(0, 2*time.Second, 0)
+	m.Emit(deliverEvent(0, 1*time.Second))
+	if v := m.Sweep(2 * time.Second); len(v) != 0 {
+		t.Errorf("violations at 1s idle (threshold 2s): %v", v)
+	}
+	v := m.Sweep(4 * time.Second)
+	if len(v) != 1 || v[0].Kind != "stall" || v[0].Flow != 0 {
+		t.Fatalf("Sweep = %v, want one stall on flow 0", v)
+	}
+	// Latched: the same episode reports once.
+	if v := m.Sweep(5 * time.Second); len(v) != 0 {
+		t.Errorf("stall reported twice for one episode: %v", v)
+	}
+	// A delivery re-arms the latch; a fresh episode reports again.
+	m.Emit(deliverEvent(0, 6*time.Second))
+	if v := m.Sweep(7 * time.Second); len(v) != 0 {
+		t.Errorf("violations right after progress: %v", v)
+	}
+	if v := m.Sweep(9 * time.Second); len(v) != 1 {
+		t.Errorf("second stall episode not reported: %v", v)
+	}
+}
+
+func TestMonitorNeverDeliveredMeasuresFromStart(t *testing.T) {
+	m := NewMonitor()
+	m.Track(0, time.Second, 10*time.Second) // starts at t=10s
+	if v := m.Sweep(5 * time.Second); len(v) != 0 {
+		t.Errorf("stall before the flow even starts: %v", v)
+	}
+	if v := m.Sweep(10500 * time.Millisecond); len(v) != 0 {
+		t.Errorf("stall within threshold of start: %v", v)
+	}
+	if v := m.Sweep(12 * time.Second); len(v) != 1 {
+		t.Errorf("flow that never delivered not flagged: %v", v)
+	}
+}
+
+func TestMonitorCheckCounters(t *testing.T) {
+	m := NewMonitor()
+	m.Emit(obs.Event{Type: obs.EvEnqueue, Flow: 0})
+	m.Emit(obs.Event{Type: obs.EvDequeue, Flow: 0})
+	m.Emit(obs.Event{Type: obs.EvDequeue, Flow: 0}) // invented packet
+	v := m.CheckCounters(time.Second)
+	if len(v) != 1 || v[0].Kind != "counter" {
+		t.Fatalf("CheckCounters = %v, want one counter violation", v)
+	}
+	if !strings.Contains(v[0].Msg, "dequeued 2 > enqueued 1") {
+		t.Errorf("violation message %q", v[0].Msg)
+	}
+	// Global events (negative flow) must not disturb per-flow counters.
+	m.Emit(obs.Event{Type: obs.EvLinkRate, Flow: -1})
+	if got := m.Events(); got != 4 {
+		t.Errorf("Events = %d, want 4", got)
+	}
+}
+
+func TestCaptureAttachesContext(t *testing.T) {
+	m := NewMonitor()
+	m.Emit(obs.Event{Type: obs.EvDeliver, Flow: 1, Seq: 77, At: 3 * time.Second})
+	e := Capture("bbr-two", 42, m, func() { panic("element bug") })
+	if e == nil {
+		t.Fatal("panic not captured")
+	}
+	if e.Kind != KindPanic || e.Scenario != "bbr-two" || e.Seed != 42 {
+		t.Errorf("RunError = %+v", e)
+	}
+	if e.Msg != "element bug" || e.Stack == "" {
+		t.Errorf("missing panic payload or stack: %+v", e)
+	}
+	if !strings.Contains(e.LastEvent, "deliver") || e.At != 3*time.Second {
+		t.Errorf("last-event context = %q at %v", e.LastEvent, e.At)
+	}
+	if !strings.Contains(e.Error(), "seed 42") {
+		t.Errorf("Error() = %q, want the seed for reproduction", e.Error())
+	}
+	if e := Capture("ok", 1, nil, func() {}); e != nil {
+		t.Errorf("clean run produced %+v", e)
+	}
+}
+
+func TestSectionDeadline(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	e := Section("stuck", 20*time.Millisecond, func() { <-release })
+	if e == nil || e.Kind != KindDeadline {
+		t.Fatalf("Section = %+v, want deadline error", e)
+	}
+	if e := Section("fine", time.Second, func() {}); e != nil {
+		t.Errorf("fast section errored: %+v", e)
+	}
+	if e := Section("no-limit", 0, func() {}); e != nil {
+		t.Errorf("unlimited section errored: %+v", e)
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	var m Manifest
+	m.Add(nil) // ignored
+	m.Add(&RunError{Scenario: "x", Kind: KindPanic, Msg: "boom"})
+	if len(m.Errors) != 1 {
+		t.Fatalf("Errors = %d, want 1 (nil adds ignored)", len(m.Errors))
+	}
+	path := t.TempDir() + "/errors.json"
+	if err := m.WriteFile(path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	var got Manifest
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(got.Errors) != 1 || got.Errors[0].Scenario != "x" {
+		t.Errorf("round trip = %+v", got)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	var o Options
+	if got := o.StallAfter(40 * time.Millisecond); got != 40*time.Second {
+		t.Errorf("StallAfter(40ms) = %v, want 40s (K=1000)", got)
+	}
+	if got := o.CheckInterval(); got != time.Second {
+		t.Errorf("CheckInterval = %v, want 1s", got)
+	}
+	o = Options{StallK: 10, CheckEvery: 100 * time.Millisecond}
+	if got := o.StallAfter(40 * time.Millisecond); got != 400*time.Millisecond {
+		t.Errorf("StallAfter(40ms, K=10) = %v", got)
+	}
+	if got := o.CheckInterval(); got != 100*time.Millisecond {
+		t.Errorf("CheckInterval = %v", got)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	var r Report
+	if !r.Ok() || r.String() != "guard: ok" {
+		t.Errorf("empty report: Ok=%v String=%q", r.Ok(), r.String())
+	}
+	r.Violations = append(r.Violations, Violation{Kind: "stall", Flow: 1, At: time.Second, Msg: "m"})
+	r.Err = &RunError{Scenario: "s", Kind: KindDeadline, Msg: "late"}
+	if r.Ok() {
+		t.Error("report with violations Ok")
+	}
+	s := r.String()
+	for _, want := range []string{"[stall] flow 1", "fatal:", "deadline"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package guard
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FlowLedger is the per-flow packet-conservation ledger: a snapshot of
+// every place a transmitted packet can legally be at the end of a run. It
+// is filled from element counters (see network.Result.Ledger), so the
+// check works with no probe attached and independently cross-checks the
+// event stream.
+//
+// Three equations must balance, one per pipeline segment:
+//
+//	Sent + Duplicated = DroppedPreQueue + HeldPreQueue + Enqueued + DroppedAtQueue
+//	Enqueued          = HeldInQueue + Dequeued
+//	Dequeued          = HeldPostQueue + Delivered
+//
+// Any element that swallows or invents packets without reporting them
+// breaks a segment equation and is caught by Check.
+type FlowLedger struct {
+	Name string
+
+	Sent            int64 // sender transmissions (incl. retransmits)
+	Duplicated      int64 // extra copies injected by a duplicator
+	DroppedPreQueue int64 // discarded by loss gates before the bottleneck
+	HeldPreQueue    int64 // inside a reorder element at the horizon
+	Enqueued        int64 // accepted into the bottleneck FIFO
+	DroppedAtQueue  int64 // drop-tail discards
+	HeldInQueue     int64 // queued at the horizon
+	Dequeued        int64 // completed bottleneck serialization
+	HeldPostQueue   int64 // inside propagation/jitter boxes at the horizon
+	Delivered       int64 // arrived at the receiver endpoint
+}
+
+// Check reports the flow's first unbalanced segment, nil if all balance.
+func (f *FlowLedger) Check() error {
+	type field struct {
+		name string
+		v    int64
+	}
+	for _, fd := range []field{
+		{"Sent", f.Sent}, {"Duplicated", f.Duplicated},
+		{"DroppedPreQueue", f.DroppedPreQueue}, {"HeldPreQueue", f.HeldPreQueue},
+		{"Enqueued", f.Enqueued}, {"DroppedAtQueue", f.DroppedAtQueue},
+		{"HeldInQueue", f.HeldInQueue}, {"Dequeued", f.Dequeued},
+		{"HeldPostQueue", f.HeldPostQueue}, {"Delivered", f.Delivered},
+	} {
+		if fd.v < 0 {
+			return fmt.Errorf("flow %s: negative ledger entry %s = %d", f.Name, fd.name, fd.v)
+		}
+	}
+	if in, out := f.Sent+f.Duplicated, f.DroppedPreQueue+f.HeldPreQueue+f.Enqueued+f.DroppedAtQueue; in != out {
+		return fmt.Errorf("flow %s: pre-queue imbalance: sent %d + duplicated %d = %d, but gates+queue account for %d (dropped %d, held %d, enqueued %d, tail-dropped %d)",
+			f.Name, f.Sent, f.Duplicated, in, out, f.DroppedPreQueue, f.HeldPreQueue, f.Enqueued, f.DroppedAtQueue)
+	}
+	if out := f.HeldInQueue + f.Dequeued; f.Enqueued != out {
+		return fmt.Errorf("flow %s: queue imbalance: enqueued %d but held %d + dequeued %d = %d",
+			f.Name, f.Enqueued, f.HeldInQueue, f.Dequeued, out)
+	}
+	if out := f.HeldPostQueue + f.Delivered; f.Dequeued != out {
+		return fmt.Errorf("flow %s: post-queue imbalance: dequeued %d but in-transit %d + delivered %d = %d",
+			f.Name, f.Dequeued, f.HeldPostQueue, f.Delivered, out)
+	}
+	return nil
+}
+
+// InFlight returns the packets legally in flight at the horizon.
+func (f *FlowLedger) InFlight() int64 {
+	return f.HeldPreQueue + f.HeldInQueue + f.HeldPostQueue
+}
+
+// Ledger is the whole run's conservation state: one FlowLedger per flow.
+type Ledger struct {
+	Flows []FlowLedger
+}
+
+// Check verifies every flow's segment equations plus the global sums (the
+// global check is redundant when per-flow checks pass, but catches
+// cross-flow misattribution if a ledger is assembled from a probe stream).
+// All failures are joined into one error; nil means the ledger balances.
+func (l *Ledger) Check() error {
+	var errs []string
+	var g FlowLedger
+	g.Name = "global"
+	for i := range l.Flows {
+		f := &l.Flows[i]
+		if err := f.Check(); err != nil {
+			errs = append(errs, err.Error())
+		}
+		g.Sent += f.Sent
+		g.Duplicated += f.Duplicated
+		g.DroppedPreQueue += f.DroppedPreQueue
+		g.HeldPreQueue += f.HeldPreQueue
+		g.Enqueued += f.Enqueued
+		g.DroppedAtQueue += f.DroppedAtQueue
+		g.HeldInQueue += f.HeldInQueue
+		g.Dequeued += f.Dequeued
+		g.HeldPostQueue += f.HeldPostQueue
+		g.Delivered += f.Delivered
+	}
+	if err := g.Check(); err != nil {
+		errs = append(errs, err.Error())
+	}
+	if len(errs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("guard: conservation violated:\n  %s", strings.Join(errs, "\n  "))
+}

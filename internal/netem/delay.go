@@ -37,11 +37,17 @@ type DelayBox struct {
 	out    PacketHandler
 
 	lastRelease time.Duration
+	inTransit   int64
 
 	// MaxApplied records the largest delay actually applied, for checking
 	// that a scenario stayed within its declared bound D.
 	MaxApplied time.Duration
 }
+
+// InTransit returns the number of packets currently inside the box
+// (accepted but not yet released downstream). Conservation ledgers use it
+// to account for packets in flight at the horizon.
+func (b *DelayBox) InTransit() int64 { return b.inTransit }
 
 // NewDelayBox returns a delay element applying the given policy.
 func NewDelayBox(s *sim.Simulator, p jitter.Policy, out PacketHandler) *DelayBox {
@@ -50,6 +56,7 @@ func NewDelayBox(s *sim.Simulator, p jitter.Policy, out PacketHandler) *DelayBox
 
 // Send applies the policy delay to p.
 func (b *DelayBox) Send(p packet.Packet) {
+	b.inTransit++
 	b.deliver(p)
 }
 
@@ -57,6 +64,7 @@ func (b *DelayBox) Send(p packet.Packet) {
 // the policy delay. The policy is consulted at the packet's arrival time at
 // the box, i.e. after the extra delay has elapsed.
 func (b *DelayBox) SendAfter(p packet.Packet, extra time.Duration) {
+	b.inTransit++
 	if extra <= 0 {
 		b.deliver(p)
 		return
@@ -83,7 +91,10 @@ func (b *DelayBox) deliver(p packet.Packet) {
 		release = b.lastRelease // preserve FIFO order within the flow
 	}
 	b.lastRelease = release
-	b.sim.At(release, func() { b.out(p) })
+	b.sim.At(release, func() {
+		b.inTransit--
+		b.out(p)
+	})
 }
 
 // AckDelayBox is the same element for the reverse (ACK) path.

@@ -1,0 +1,59 @@
+package netem
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"starvation/internal/netem/jitter"
+	"starvation/internal/packet"
+	"starvation/internal/sim"
+)
+
+// FuzzDelayBoxNoReorder checks the §3 delay-element contract under
+// arbitrary arrival patterns and jitter draws: the DelayBox may hold each
+// packet for any duration within the policy bound, but it must never
+// reorder a flow and never release a packet before it arrived.
+func FuzzDelayBoxNoReorder(f *testing.F) {
+	f.Add(int64(1), uint16(20), uint8(50))
+	f.Add(int64(3), uint16(0), uint8(10))
+	f.Add(int64(42), uint16(500), uint8(200))
+	f.Fuzz(func(t *testing.T, seed int64, maxMs uint16, n uint8) {
+		s := sim.New(1)
+		maxD := time.Duration(maxMs) * time.Millisecond
+		type rel struct {
+			seq int64
+			at  time.Duration
+		}
+		var out []rel
+		box := NewDelayBox(s, &jitter.Uniform{Max: maxD, Rng: rand.New(rand.NewSource(seed))},
+			func(p packet.Packet) { out = append(out, rel{p.Seq, s.Now()}) })
+		rng := rand.New(rand.NewSource(seed * 31))
+		sent := make([]time.Duration, int(n))
+		at := time.Duration(0)
+		for i := 0; i < int(n); i++ {
+			i := i
+			at += time.Duration(rng.Int63n(int64(2*time.Millisecond) + 1))
+			sent[i] = at
+			s.At(at, func() { box.Send(packet.Packet{Seq: int64(i), Size: 1500}) })
+		}
+		s.Run(at + maxD + time.Second)
+		if len(out) != int(n) {
+			t.Fatalf("released %d of %d packets", len(out), n)
+		}
+		if box.InTransit() != 0 {
+			t.Fatalf("InTransit = %d after drain", box.InTransit())
+		}
+		for i, r := range out {
+			if r.seq != int64(i) {
+				t.Fatalf("release %d has seq %d: DelayBox reordered", i, r.seq)
+			}
+			if r.at < sent[r.seq] {
+				t.Fatalf("seq %d released at %v before send %v", r.seq, r.at, sent[r.seq])
+			}
+		}
+		if box.MaxApplied > maxD {
+			t.Fatalf("MaxApplied %v exceeds policy bound %v", box.MaxApplied, maxD)
+		}
+	})
+}

@@ -23,9 +23,10 @@ type PacketHandler func(p packet.Packet)
 type AckHandler func(a packet.Ack)
 
 // Link is the shared bottleneck: a byte-accurate FIFO queue drained at a
-// constant rate C. Packets arriving when the buffer is full are dropped
-// (drop-tail). A zero BufferBytes means an effectively infinite queue, the
-// ideal-path assumption of Definition 1.
+// rate C that may vary over the run (SetRate; see internal/netem/faults for
+// schedules and flaps). Packets arriving when the buffer is full are
+// dropped (drop-tail). A zero BufferBytes means an effectively infinite
+// queue, the ideal-path assumption of Definition 1.
 type Link struct {
 	sim    *sim.Simulator
 	rate   units.Rate
@@ -38,6 +39,15 @@ type Link struct {
 	queuedBytes   int
 	lastDeparture time.Duration
 
+	// pending[head:] are the queued packets in FIFO order, each with the
+	// handle of its scheduled departure so SetRate can reschedule them. At
+	// a constant rate this registry is pure bookkeeping: departures are
+	// computed at enqueue time exactly as they always were, so fixed-seed
+	// realizations are unchanged.
+	pending []linkPend
+	head    int
+	down    bool // rate is 0: nothing departs until SetRate(>0)
+
 	// Stats.
 	Delivered     int64 // packets delivered
 	Dropped       int64 // packets dropped at the tail
@@ -45,7 +55,14 @@ type Link struct {
 	MaxQueue      int   // high-water mark in bytes
 	EnqueuedPkts  int64 // packets accepted into the queue
 	EnqueuedBytes int64 // bytes accepted into the queue
+	RateChanges   int64 // SetRate calls that changed the drain rate
 	perFlow       []FlowLinkStats
+}
+
+type linkPend struct {
+	pkt    packet.Packet
+	handle sim.Handle
+	depart time.Duration
 }
 
 // FlowLinkStats breaks the link's counters down by owning flow.
@@ -55,6 +72,10 @@ type FlowLinkStats struct {
 	Delivered     int64
 	Dropped       int64
 	Marked        int64
+	// Holding is the flow's packets currently queued (enqueued, not yet
+	// departed) — a gauge, not a counter; conservation ledgers use it to
+	// account for in-flight packets at the horizon.
+	Holding int64
 }
 
 // NewLink creates a bottleneck of the given rate and buffer size that
@@ -87,8 +108,60 @@ func (l *Link) flow(f packet.FlowID) *FlowLinkStats {
 	return &l.perFlow[f]
 }
 
-// Rate returns the link's drain rate.
+// Rate returns the link's current drain rate (0 while flapped down).
 func (l *Link) Rate() units.Rate { return l.rate }
+
+// SetRate changes the drain rate to r, rescheduling every queued packet's
+// departure. The packet in transmission keeps its transmitted fraction:
+// its remaining serialization time is rescaled by oldRate/newRate. A rate
+// of 0 takes the link down — queued and newly arriving packets are held
+// (subject to the same drop-tail check) until a later SetRate brings the
+// link back up, which restarts the head packet's serialization from
+// scratch. Rate changes do not rescale a Prime()d virtual backlog.
+func (l *Link) SetRate(r units.Rate) {
+	if r < 0 {
+		r = 0
+	}
+	old := l.rate
+	if r == old {
+		return
+	}
+	now := l.sim.Now()
+	l.rate = r
+	l.RateChanges++
+	if l.probe != nil {
+		l.probe.Emit(obs.Event{Type: obs.EvLinkRate, At: now, Flow: -1,
+			Seq: int64(r), Queue: l.queuedBytes})
+	}
+	if r == 0 {
+		for i := l.head; i < len(l.pending); i++ {
+			l.pending[i].handle.Cancel()
+		}
+		l.down = true
+		return
+	}
+	prev := now
+	for i := l.head; i < len(l.pending); i++ {
+		pe := &l.pending[i]
+		pe.handle.Cancel()
+		var tx time.Duration
+		if i == l.head && !l.down {
+			// Head keeps its progress: scale the remaining time.
+			if rem := pe.depart - now; rem > 0 {
+				tx = time.Duration(float64(rem) * float64(old) / float64(r))
+			}
+		} else {
+			tx = r.TxTime(pe.pkt.Size)
+		}
+		prev += tx
+		pe.depart = prev
+		pe.handle = l.sim.At(prev, l.departHead)
+	}
+	l.down = false
+	if l.head < len(l.pending) {
+		l.lastDeparture = prev
+	}
+}
 
 // QueuedBytes returns the bytes currently waiting or in transmission.
 func (l *Link) QueuedBytes() int { return l.queuedBytes }
@@ -149,11 +222,14 @@ func (l *Link) Enqueue(p packet.Packet) {
 		l.Marked++
 		l.flow(p.Flow).Marked++
 	}
-	if l.lastDeparture < now {
-		l.lastDeparture = now
+	var depart time.Duration
+	if !l.down {
+		if l.lastDeparture < now {
+			l.lastDeparture = now
+		}
+		depart = l.lastDeparture + l.rate.TxTime(p.Size)
+		l.lastDeparture = depart
 	}
-	depart := l.lastDeparture + l.rate.TxTime(p.Size)
-	l.lastDeparture = depart
 	l.queuedBytes += p.Size
 	if l.queuedBytes > l.MaxQueue {
 		l.MaxQueue = l.queuedBytes
@@ -163,23 +239,48 @@ func (l *Link) Enqueue(p packet.Packet) {
 	fs := l.flow(p.Flow)
 	fs.Enqueued++
 	fs.EnqueuedBytes += int64(p.Size)
+	fs.Holding++
 	if l.probe != nil {
 		if marked {
 			l.probe.Emit(obs.Event{Type: obs.EvMark, At: now, Flow: p.Flow,
-				Seq: p.Seq, Bytes: p.Size, Queue: l.queuedBytes, Retx: p.Retx})
+				Seq: p.Seq, Bytes: p.Size, Queue: l.queuedBytes, Retx: p.Retx, Dup: p.Dup})
 		}
 		l.probe.Emit(obs.Event{Type: obs.EvEnqueue, At: now, Flow: p.Flow,
-			Seq: p.Seq, Bytes: p.Size, Queue: l.queuedBytes, Retx: p.Retx})
+			Seq: p.Seq, Bytes: p.Size, Queue: l.queuedBytes, Retx: p.Retx, Dup: p.Dup})
 	}
-	pkt := p
-	l.sim.At(depart, func() {
-		l.queuedBytes -= pkt.Size
-		l.Delivered++
-		l.flow(pkt.Flow).Delivered++
-		if l.probe != nil {
-			l.probe.Emit(obs.Event{Type: obs.EvDequeue, At: l.sim.Now(), Flow: pkt.Flow,
-				Seq: pkt.Seq, Bytes: pkt.Size, Queue: l.queuedBytes, Retx: pkt.Retx})
-		}
-		l.out(pkt)
-	})
+	if l.down {
+		// Held until the link comes back up; SetRate schedules it then.
+		l.pending = append(l.pending, linkPend{pkt: p})
+		return
+	}
+	handle := l.sim.At(depart, l.departHead)
+	l.pending = append(l.pending, linkPend{pkt: p, handle: handle, depart: depart})
+}
+
+// departHead completes serialization of the oldest queued packet. All
+// departure events route here: the pending registry is FIFO and departures
+// are scheduled in FIFO order, so the firing event always belongs to the
+// head entry.
+func (l *Link) departHead() {
+	p := l.pending[l.head].pkt
+	l.pending[l.head] = linkPend{}
+	l.head++
+	if l.head == len(l.pending) {
+		l.pending = l.pending[:0]
+		l.head = 0
+	} else if l.head >= 64 && l.head*2 >= len(l.pending) {
+		n := copy(l.pending, l.pending[l.head:])
+		l.pending = l.pending[:n]
+		l.head = 0
+	}
+	l.queuedBytes -= p.Size
+	l.Delivered++
+	fs := l.flow(p.Flow)
+	fs.Delivered++
+	fs.Holding--
+	if l.probe != nil {
+		l.probe.Emit(obs.Event{Type: obs.EvDequeue, At: l.sim.Now(), Flow: p.Flow,
+			Seq: p.Seq, Bytes: p.Size, Queue: l.queuedBytes, Retx: p.Retx, Dup: p.Dup})
+	}
+	l.out(p)
 }

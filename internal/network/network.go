@@ -11,7 +11,9 @@ import (
 
 	"starvation/internal/cca"
 	"starvation/internal/endpoint"
+	"starvation/internal/guard"
 	"starvation/internal/netem"
+	"starvation/internal/netem/faults"
 	"starvation/internal/netem/jitter"
 	"starvation/internal/obs"
 	"starvation/internal/packet"
@@ -38,10 +40,37 @@ type FlowSpec struct {
 	// LossProb is the probability of independent random loss on the data
 	// path (the §5.4 element).
 	LossProb float64
+	// Faults selects additional impairment elements on the data path
+	// (bursty loss, reordering, duplication); nil leaves them out.
+	Faults *faults.Spec
 	// MSS is the segment size (defaults to endpoint.DefaultMSS).
 	MSS int
 	// StartAt delays the flow's first transmission.
 	StartAt time.Duration
+}
+
+// Validate reports the first problem with the spec. New panics on these
+// (programming errors in scenario code); NewChecked returns them.
+func (spec FlowSpec) Validate() error {
+	if spec.Alg == nil {
+		return fmt.Errorf("has no CCA")
+	}
+	if spec.Rm <= 0 {
+		return fmt.Errorf("has no Rm")
+	}
+	if spec.LossProb < 0 || spec.LossProb > 1 {
+		return fmt.Errorf("loss probability %g outside [0, 1]", spec.LossProb)
+	}
+	if spec.MSS < 0 {
+		return fmt.Errorf("negative MSS %d", spec.MSS)
+	}
+	if spec.StartAt < 0 {
+		return fmt.Errorf("negative StartAt %v", spec.StartAt)
+	}
+	if err := spec.Faults.Validate(); err != nil {
+		return fmt.Errorf("faults: %w", err)
+	}
+	return nil
 }
 
 // Config describes the shared bottleneck and run parameters.
@@ -55,6 +84,14 @@ type Config struct {
 	ECNThresholdBytes int
 	// Marker installs an AQM policy (overrides ECNThresholdBytes).
 	Marker netem.Marker
+	// RateSchedule varies the bottleneck rate over the run (piecewise
+	// steps or on-off flaps); nil keeps Rate constant.
+	RateSchedule *faults.RateSchedule
+	// Guard enables the run-guard layer: periodic stall sweeps, an
+	// optional wall-clock deadline, and end-of-run conservation and
+	// counter checks, reported in Result.Guard. Nil disables the layer;
+	// the conservation ledger in Result.Ledger is filled either way.
+	Guard *guard.Options
 	// Seed feeds all randomness in the run.
 	Seed int64
 	// SampleEvery is the trace sampling interval (default 100 ms).
@@ -80,6 +117,9 @@ type Flow struct {
 	CwndTrace trace.Series // cwnd bytes vs time
 
 	gate             *netem.LossGate // random-loss element, nil unless LossProb > 0
+	ge               *faults.GEGate
+	reorder          *faults.Reorderer
+	dup              *faults.Duplicator
 	rateSamples      int64
 	lastSampledAcked int64
 }
@@ -91,21 +131,71 @@ type Network struct {
 	Flows []*Flow
 	cfg   Config
 
+	monitor *guard.Monitor
+	report  guard.Report
+
 	QueueTrace trace.Series // queue depth bytes vs time
+}
+
+// Validate reports the first problem with the bottleneck configuration.
+func (cfg Config) Validate() error {
+	if cfg.Rate <= 0 {
+		return fmt.Errorf("bottleneck rate must be positive")
+	}
+	if cfg.BufferBytes < 0 {
+		return fmt.Errorf("negative buffer %d bytes", cfg.BufferBytes)
+	}
+	if cfg.ECNThresholdBytes < 0 {
+		return fmt.Errorf("negative ECN threshold %d bytes", cfg.ECNThresholdBytes)
+	}
+	if cfg.SampleEvery < 0 {
+		return fmt.Errorf("negative sample interval %v", cfg.SampleEvery)
+	}
+	if err := cfg.RateSchedule.Validate(); err != nil {
+		return fmt.Errorf("rate schedule: %w", err)
+	}
+	return nil
+}
+
+// NewChecked assembles the topology, returning an error for invalid
+// configuration instead of panicking — the entry point for user-supplied
+// (CLI) configs, where a typo is a runtime condition, not a bug.
+func NewChecked(cfg Config, specs ...FlowSpec) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("network: %w", err)
+	}
+	for i, spec := range specs {
+		if err := spec.Validate(); err != nil {
+			return nil, fmt.Errorf("network: flow %d %w", i, err)
+		}
+	}
+	return newNetwork(cfg, specs...), nil
 }
 
 // New assembles the topology. It panics on invalid specs (missing CCA or
 // Rm): these are programming errors in scenario definitions, not runtime
-// conditions.
+// conditions. CLI paths should use NewChecked.
 func New(cfg Config, specs ...FlowSpec) *Network {
-	if cfg.Rate <= 0 {
-		panic("network: bottleneck rate must be positive")
+	n, err := NewChecked(cfg, specs...)
+	if err != nil {
+		panic(err.Error())
 	}
+	return n
+}
+
+func newNetwork(cfg Config, specs ...FlowSpec) *Network {
 	if cfg.SampleEvery <= 0 {
 		cfg.SampleEvery = 100 * time.Millisecond
 	}
 	s := sim.New(cfg.Seed)
 	n := &Network{Sim: s, cfg: cfg}
+	if cfg.Guard != nil {
+		// The monitor taps the probe stream; read-only, so guarded and
+		// unguarded runs of the same seed stay bit-identical.
+		n.monitor = guard.NewMonitor()
+		cfg.Probe = obs.Multi(cfg.Probe, n.monitor)
+		n.cfg.Probe = cfg.Probe
+	}
 
 	// The link dispatches delivered packets to the owning flow's
 	// propagation stage.
@@ -120,13 +210,11 @@ func New(cfg Config, specs ...FlowSpec) *Network {
 	}
 	n.Link.SetProbe(cfg.Probe)
 
+	if cfg.RateSchedule != nil {
+		cfg.RateSchedule.Apply(s, n.Link)
+	}
+
 	for i, spec := range specs {
-		if spec.Alg == nil {
-			panic(fmt.Sprintf("network: flow %d has no CCA", i))
-		}
-		if spec.Rm <= 0 {
-			panic(fmt.Sprintf("network: flow %d has no Rm", i))
-		}
 		if spec.Name == "" {
 			spec.Name = fmt.Sprintf("flow%d", i)
 		}
@@ -154,16 +242,39 @@ func New(cfg Config, specs ...FlowSpec) *Network {
 		// Forward path tail: jitter box -> receiver.
 		f.FwdBox = netem.NewDelayBox(s, spec.FwdJitter, f.Receiver.OnPacket)
 
-		// Forward path head: sender -> loss gate -> link.
+		// Forward path head, built back to front so packets traverse
+		// sender -> duplicator -> reorderer -> GE gate -> loss gate -> link.
 		var intoLink netem.PacketHandler = n.Link.Enqueue
 		if spec.LossProb > 0 {
 			// Each gate gets an independent generator derived from the
 			// run seed so adding flows never perturbs other flows' loss.
 			gateRng := newDerivedRand(cfg.Seed, i)
-			gate := netem.NewLossGate(spec.LossProb, gateRng, n.Link.Enqueue)
+			gate := netem.NewLossGate(spec.LossProb, gateRng, intoLink)
 			gate.SetProbe(s, cfg.Probe)
 			f.gate = gate
 			intoLink = gate.Send
+		}
+		if fs := spec.Faults; fs != nil {
+			// Each element draws from its own salted generator so enabling
+			// one never perturbs another's realization.
+			if fs.GE != nil {
+				ge := faults.NewGEGate(*fs.GE, newDerivedRandSalt(cfg.Seed, i, saltGE), intoLink)
+				ge.SetProbe(s, cfg.Probe)
+				f.ge = ge
+				intoLink = ge.Send
+			}
+			if fs.Reorder != nil {
+				ro := faults.NewReorderer(*fs.Reorder, newDerivedRandSalt(cfg.Seed, i, saltReorder), s, intoLink)
+				ro.SetProbe(cfg.Probe)
+				f.reorder = ro
+				intoLink = ro.Send
+			}
+			if fs.Duplicate != nil {
+				du := faults.NewDuplicator(*fs.Duplicate, newDerivedRandSalt(cfg.Seed, i, saltDup), intoLink)
+				du.SetProbe(s, cfg.Probe)
+				f.dup = du
+				intoLink = du.Send
+			}
 		}
 		f.Sender = endpoint.NewSender(s, f.ID, spec.Alg, spec.MSS, intoLink)
 		f.Sender.Probe = cfg.Probe
@@ -171,6 +282,9 @@ func New(cfg Config, specs ...FlowSpec) *Network {
 			if rtt > 0 {
 				f.RTTTrace.Add(now, rtt.Seconds())
 			}
+		}
+		if n.monitor != nil {
+			n.monitor.Track(f.ID, cfg.Guard.StallAfter(spec.Rm), spec.StartAt)
 		}
 		n.Flows = append(n.Flows, f)
 	}
@@ -199,6 +313,39 @@ func (n *Network) RunWindow(d, from, to time.Duration) *Result {
 		fl := f
 		n.Sim.At(fl.Spec.StartAt, fl.Sender.Start)
 	}
+	if n.monitor != nil {
+		// Progress sweeps on virtual time. The sweep closure reads monitor
+		// state only — it schedules nothing beyond its own recurrence and
+		// draws no randomness, so relative ordering of network events (and
+		// thus the realization) is unchanged.
+		every := n.cfg.Guard.CheckInterval()
+		var sweep func()
+		sweep = func() {
+			n.report.Violations = append(n.report.Violations, n.monitor.Sweep(n.Sim.Now())...)
+			n.Sim.After(every, sweep)
+		}
+		n.Sim.After(every, sweep)
+		if wall := n.cfg.Guard.WallClock; wall > 0 {
+			// Wall-clock deadline on event count, so even a livelocked run
+			// (virtual clock stuck) reaches the check.
+			start := time.Now()
+			n.Sim.Watchdog(4096, func() bool {
+				if time.Since(start) <= wall {
+					return true
+				}
+				e := &guard.RunError{
+					Kind: guard.KindDeadline,
+					Msg:  fmt.Sprintf("run exceeded wall-clock budget %v at virtual time %v", wall, n.Sim.Now()),
+					At:   n.Sim.Now(),
+				}
+				if ev, ok := n.monitor.LastEvent(); ok {
+					e.LastEvent = fmt.Sprintf("%s flow=%d seq=%d at=%v", ev.Type, ev.Flow, ev.Seq, ev.At)
+				}
+				n.report.Err = e
+				return false
+			})
+		}
+	}
 	n.sample() // also schedules itself
 	n.Sim.Run(d)
 	return n.collect(d, from, to)
@@ -224,6 +371,20 @@ func (n *Network) sample() {
 	n.Sim.After(n.cfg.SampleEvery, n.sample)
 }
 
+// Salts separate the random streams of a flow's impairment elements; the
+// Bernoulli gate keeps the original 17 so pre-faults realizations are
+// unchanged.
+const (
+	saltGate    = 17
+	saltGE      = 29
+	saltReorder = 31
+	saltDup     = 37
+)
+
 func newDerivedRand(seed int64, flow int) *randSource {
-	return newRandSource(seed*1000003 + int64(flow)*7919 + 17)
+	return newDerivedRandSalt(seed, flow, saltGate)
+}
+
+func newDerivedRandSalt(seed int64, flow int, salt int64) *randSource {
+	return newRandSource(seed*1000003 + int64(flow)*7919 + salt)
 }

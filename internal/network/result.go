@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"starvation/internal/guard"
 	"starvation/internal/metrics"
 	"starvation/internal/obs"
 	"starvation/internal/trace"
@@ -17,13 +18,31 @@ type randSource = rand.Rand
 
 func newRandSource(seed int64) *randSource { return rand.New(rand.NewSource(seed)) }
 
+// FaultCounters is the per-flow drop/impairment accounting, filled from
+// element counters so it is visible without a probe attached.
+type FaultCounters struct {
+	// GatePassed/GateDropped are the Bernoulli loss gate's counters.
+	GatePassed  int64
+	GateDropped int64
+	// GEPassed/GEDropped/GEBursts are the Gilbert–Elliott gate's counters
+	// (GEBursts counts Good→Bad transitions, i.e. loss bursts started).
+	GEPassed  int64
+	GEDropped int64
+	GEBursts  int64
+	// Reordered counts packets deliberately deferred by a reorder element.
+	Reordered int64
+	// Duplicated counts extra copies injected by a duplicator.
+	Duplicated int64
+}
+
 // FlowResult is the per-flow outcome of a run.
 type FlowResult struct {
-	Name string
-	Stat metrics.FlowStat
-	RTT  *trace.Series
-	Rate *trace.Series
-	Cwnd *trace.Series
+	Name   string
+	Stat   metrics.FlowStat
+	Faults FaultCounters
+	RTT    *trace.Series
+	Rate   *trace.Series
+	Cwnd   *trace.Series
 }
 
 // Result is the outcome of a scenario run.
@@ -41,6 +60,14 @@ type Result struct {
 	// packet-lifecycle counters plus event-loop gauges. It is assembled
 	// from element counters on every run, probe installed or not.
 	Obs obs.Snapshot
+	// Ledger is the packet-conservation ledger assembled from element
+	// counters on every run. Ledger.Check() == nil means every transmitted
+	// packet is accounted for (delivered, dropped, or in flight).
+	Ledger guard.Ledger
+	// Guard is the run-guard report, non-nil only when Config.Guard was
+	// set: progress-sweep violations, end-of-run conservation and counter
+	// checks, and the deadline error if the run was cut short.
+	Guard *guard.Report
 }
 
 func (n *Network) collect(d, from, to time.Duration) *Result {
@@ -76,16 +103,83 @@ func (n *Network) collect(d, from, to time.Duration) *Result {
 			st.SteadyRTTHi = secToDur(hi)
 		}
 		st.SteadyThpt = windowThroughput(&f.RateTrace, from, to)
-		res.Flows = append(res.Flows, FlowResult{
+		fr := FlowResult{
 			Name: f.Spec.Name,
 			Stat: st,
 			RTT:  &f.RTTTrace,
 			Rate: &f.RateTrace,
 			Cwnd: &f.CwndTrace,
-		})
+		}
+		if f.gate != nil {
+			fr.Faults.GatePassed = f.gate.Passed
+			fr.Faults.GateDropped = f.gate.Dropped
+		}
+		if f.ge != nil {
+			fr.Faults.GEPassed = f.ge.Passed
+			fr.Faults.GEDropped = f.ge.Dropped
+			fr.Faults.GEBursts = f.ge.BadEntries
+		}
+		if f.reorder != nil {
+			fr.Faults.Reordered = f.reorder.Deferred
+		}
+		if f.dup != nil {
+			fr.Faults.Duplicated = f.dup.Duplicated
+		}
+		res.Flows = append(res.Flows, fr)
 	}
 	res.Obs = n.snapshot()
+	res.Ledger = n.ledger()
+	if n.cfg.Guard != nil {
+		// Fold the end-of-run checks into the report: a final progress
+		// sweep, the event-derived counter inequalities, and the
+		// conservation ledger.
+		now := n.Sim.Now()
+		n.report.Violations = append(n.report.Violations, n.monitor.Sweep(now)...)
+		n.report.Violations = append(n.report.Violations, n.monitor.CheckCounters(now)...)
+		if err := res.Ledger.Check(); err != nil {
+			n.report.Violations = append(n.report.Violations, guard.Violation{
+				Kind: "conservation", Flow: -1, At: now, Msg: err.Error(),
+			})
+		}
+		rep := n.report
+		res.Guard = &rep
+	}
 	return res
+}
+
+// ledger assembles the packet-conservation ledger from element counters.
+// Every place a packet can legally rest at the horizon has a gauge:
+// reorder boxes (HeldPreQueue), the bottleneck FIFO (HeldInQueue), and the
+// propagation/jitter boxes (HeldPostQueue).
+func (n *Network) ledger() guard.Ledger {
+	var lg guard.Ledger
+	for _, f := range n.Flows {
+		ls := n.Link.FlowStats(f.ID)
+		fl := guard.FlowLedger{
+			Name:           f.Spec.Name,
+			Sent:           f.Sender.SentPackets,
+			Enqueued:       ls.Enqueued,
+			DroppedAtQueue: ls.Dropped,
+			HeldInQueue:    ls.Holding,
+			Dequeued:       ls.Delivered,
+			HeldPostQueue:  f.FwdBox.InTransit(),
+			Delivered:      f.Receiver.Received,
+		}
+		if f.gate != nil {
+			fl.DroppedPreQueue += f.gate.Dropped
+		}
+		if f.ge != nil {
+			fl.DroppedPreQueue += f.ge.Dropped
+		}
+		if f.reorder != nil {
+			fl.HeldPreQueue = f.reorder.Held()
+		}
+		if f.dup != nil {
+			fl.Duplicated = f.dup.Duplicated
+		}
+		lg.Flows = append(lg.Flows, fl)
+	}
+	return lg
 }
 
 // snapshot assembles the observability registry from element counters. It
@@ -112,14 +206,27 @@ func (n *Network) snapshot() obs.Snapshot {
 			BytesDelivered:   f.Receiver.DeliveredBytes(),
 			CwndUpdates:      f.Sender.CwndUpdates,
 			RateSamples:      f.rateSamples,
+			PacketsDequeued:  ls.Delivered,
 		}
 		if f.gate != nil {
 			fc.PacketsDropped += f.gate.Dropped
+			fc.DroppedAtGate += f.gate.Dropped
+		}
+		if f.ge != nil {
+			fc.PacketsDropped += f.ge.Dropped
+			fc.DroppedAtGate += f.ge.Dropped
+		}
+		if f.reorder != nil {
+			fc.PacketsReordered = f.reorder.Deferred
+		}
+		if f.dup != nil {
+			fc.PacketsDuplicated = f.dup.Duplicated
 		}
 		g := &snap.Global
 		g.PacketsDropped += fc.PacketsDropped
 		g.PacketsDelivered += fc.PacketsDelivered
 		g.AcksReceived += fc.AcksReceived
+		g.PacketsDuplicated += fc.PacketsDuplicated
 	}
 	g := &snap.Global
 	g.PacketsEnqueued = n.Link.EnqueuedPkts
@@ -127,6 +234,7 @@ func (n *Network) snapshot() obs.Snapshot {
 	g.PacketsMarked = n.Link.Marked
 	g.BytesEnqueued = n.Link.EnqueuedBytes
 	g.MaxQueueBytes = int64(n.Link.MaxQueue)
+	g.LinkRateChanges = n.Link.RateChanges
 	st := n.Sim.Stats()
 	g.SimEventsScheduled = st.Scheduled
 	g.SimEventsFired = st.Fired

@@ -20,6 +20,7 @@ type jsonEvent struct {
 	Bytes int    `json:"bytes"`
 	Queue int    `json:"queue"`
 	Retx  bool   `json:"retx,omitempty"`
+	Dup   bool   `json:"dup,omitempty"`
 }
 
 // JSONLWriter is a Probe that streams events as one JSON object per line,
@@ -50,6 +51,7 @@ func (jw *JSONLWriter) Emit(e Event) {
 		Bytes: e.Bytes,
 		Queue: e.Queue,
 		Retx:  e.Retx,
+		Dup:   e.Dup,
 	})
 	if err != nil {
 		jw.err = err
@@ -102,6 +104,7 @@ func ReadJSONL(r io.Reader) ([]Event, error) {
 			Bytes: je.Bytes,
 			Queue: je.Queue,
 			Retx:  je.Retx,
+			Dup:   je.Dup,
 		})
 	}
 	if err := sc.Err(); err != nil {

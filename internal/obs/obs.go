@@ -53,6 +53,17 @@ const (
 	// EvRateSample: periodic per-flow throughput sample; Seq is the
 	// windowed delivery rate in bit/s, Queue the bottleneck depth.
 	EvRateSample
+	// EvDup: a duplication element emitted an extra copy of a packet. The
+	// copy's own lifecycle events (enqueue/drop/deliver) carry Dup=true.
+	EvDup
+	// EvReorder: a reordering element deferred a packet, letting packets
+	// sent after it overtake. Queue is -1 (the element sits before the
+	// bottleneck queue).
+	EvReorder
+	// EvLinkRate: the bottleneck's drain rate changed. Seq is the new rate
+	// in bit/s, Queue the depth at the change, and Flow is -1: the event is
+	// global, not owned by any flow.
+	EvLinkRate
 
 	numEventTypes
 )
@@ -60,6 +71,7 @@ const (
 var eventTypeNames = [numEventTypes]string{
 	"enqueue", "drop", "mark", "dequeue", "deliver",
 	"ack_recv", "cwnd_update", "rate_sample",
+	"dup", "reorder", "link_rate",
 }
 
 // String returns the stable wire name of the event type.
@@ -100,6 +112,10 @@ type Event struct {
 	Queue int
 	// Retx marks events about retransmitted segments.
 	Retx bool
+	// Dup marks events about duplicate copies injected by a duplication
+	// element. Registries count such enqueues and drops into queue-level
+	// counters but not into PacketsSent, which tracks sender transmissions.
+	Dup bool
 }
 
 // Probe consumes the event stream. Implementations must be cheap: probes

@@ -18,6 +18,16 @@ type FlowCounters struct {
 	Retransmits      int64 `json:"retransmits"`
 	AcksReceived     int64 `json:"acks_received"`
 
+	// Fault-element counters. PacketsDropped already includes gate drops;
+	// DroppedAtGate isolates the pre-queue share (Bernoulli and
+	// Gilbert–Elliott gates). PacketsDuplicated counts extra copies created
+	// by a duplicator (their enqueues/drops are excluded from PacketsSent);
+	// PacketsReordered counts deliberate deferrals by a reorder element.
+	PacketsDequeued   int64 `json:"packets_dequeued"`
+	DroppedAtGate     int64 `json:"dropped_at_gate"`
+	PacketsDuplicated int64 `json:"packets_duplicated"`
+	PacketsReordered  int64 `json:"packets_reordered"`
+
 	BytesSent      int64 `json:"bytes_sent"`
 	BytesEnqueued  int64 `json:"bytes_enqueued"`
 	BytesAcked     int64 `json:"bytes_acked"`
@@ -37,6 +47,9 @@ type Counters struct {
 	AcksReceived     int64 `json:"acks_received"`
 	BytesEnqueued    int64 `json:"bytes_enqueued"`
 	MaxQueueBytes    int64 `json:"max_queue_bytes"`
+
+	PacketsDuplicated int64 `json:"packets_duplicated"`
+	LinkRateChanges   int64 `json:"link_rate_changes"`
 
 	// Event-loop gauges, filled only by the emulator's end-of-run snapshot
 	// (the packet event stream does not carry them).
@@ -71,35 +84,56 @@ func NewRegistry() *Registry { return &Registry{} }
 
 // Emit implements Probe.
 func (r *Registry) Emit(e Event) {
-	f := r.snap.Flow(e.Flow)
 	g := &r.snap.Global
+	if e.Flow < 0 {
+		// Global events carry no owning flow; handle them before the
+		// per-flow lookup (Snapshot.Flow would panic on a negative id).
+		if e.Type == EvLinkRate {
+			g.LinkRateChanges++
+		}
+		return
+	}
+	f := r.snap.Flow(e.Flow)
 	switch e.Type {
 	case EvEnqueue:
-		f.PacketsSent++
-		f.PacketsEnqueued++
-		f.BytesSent += int64(e.Bytes)
-		f.BytesEnqueued += int64(e.Bytes)
-		if e.Retx {
-			f.Retransmits++
+		if !e.Dup {
+			f.PacketsSent++
+			f.BytesSent += int64(e.Bytes)
+			if e.Retx {
+				f.Retransmits++
+			}
 		}
+		f.PacketsEnqueued++
+		f.BytesEnqueued += int64(e.Bytes)
 		g.PacketsEnqueued++
 		g.BytesEnqueued += int64(e.Bytes)
 		if q := int64(e.Queue); q > g.MaxQueueBytes {
 			g.MaxQueueBytes = q
 		}
 	case EvDrop:
-		f.PacketsSent++
+		if !e.Dup {
+			f.PacketsSent++
+			f.BytesSent += int64(e.Bytes)
+			if e.Retx {
+				f.Retransmits++
+			}
+		}
 		f.PacketsDropped++
-		f.BytesSent += int64(e.Bytes)
-		if e.Retx {
-			f.Retransmits++
+		if e.Queue < 0 {
+			f.DroppedAtGate++
 		}
 		g.PacketsDropped++
 	case EvMark:
 		f.PacketsMarked++
 		g.PacketsMarked++
 	case EvDequeue:
+		f.PacketsDequeued++
 		g.PacketsDequeued++
+	case EvDup:
+		f.PacketsDuplicated++
+		g.PacketsDuplicated++
+	case EvReorder:
+		f.PacketsReordered++
 	case EvDeliver:
 		f.PacketsDelivered++
 		f.BytesDelivered += int64(e.Bytes)

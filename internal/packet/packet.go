@@ -24,6 +24,11 @@ type Packet struct {
 	Retx bool
 	// ECN is set by the bottleneck when the packet is marked (CE).
 	ECN bool
+	// Dup marks an extra copy created by a duplication element. Copies are
+	// real traffic (they occupy the bottleneck and reach the receiver, which
+	// ACKs them like any out-of-window arrival) but are excluded from
+	// sent-packet accounting so conservation checks still balance.
+	Dup bool
 }
 
 // End returns the byte offset just past this segment.

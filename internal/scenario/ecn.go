@@ -36,6 +36,7 @@ func ECNAvoidsStarvation(o Opts) *Result {
 				},
 				Seed:  o.Seed,
 				Probe: o.Probe,
+				Guard: o.Guard,
 			},
 			network.FlowSpec{
 				Name: "lossy", Alg: mk(), Rm: 40 * time.Millisecond,

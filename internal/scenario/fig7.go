@@ -26,6 +26,7 @@ func fig7(o Opts, id, name string, mk func() cca.Algorithm, claim string) *Resul
 			BufferBytes: 60 * endpoint.DefaultMSS,
 			Seed:        o.Seed,
 			Probe:       o.Probe,
+			Guard:       o.Guard,
 		},
 		network.FlowSpec{
 			Name: "delacked",

@@ -8,7 +8,10 @@ import (
 // TestSeedRobustness verifies the qualitative claims across several seeds:
 // the starved side must be the same in the clear majority of realizations
 // (starvation dynamics are chaotic — the paper's testbed runs varied too,
-// which is why the reference seed is documented). Skipped with -short.
+// which is why the reference seed is documented). Every realization must
+// also satisfy packet conservation: the seed sweep doubles as the widest
+// exercise of the guard ledger across CCAs and impairments. The checks
+// run as parallel subtests. Skipped with -short.
 func TestSeedRobustness(t *testing.T) {
 	if testing.Short() {
 		t.Skip("seed sweep is slow")
@@ -23,22 +26,30 @@ func TestSeedRobustness(t *testing.T) {
 		{"bbr-two", "rtt40_mbps", "rtt80_mbps", BBRTwoFlowRTT},
 		{"vivace-ackagg", "quantized_mbps", "clean_mbps", VivaceAckAggregation},
 		{"allegro-loss", "lossy_mbps", "clean_mbps", AllegroRandomLoss},
+		{"allegro-burst", "bursty_mbps", "clean_mbps", AllegroBurstLoss},
 		{"copa-two", "poisoned_mbps", "clean_mbps", CopaTwoFlowPoison},
 	}
 	seeds := []int64{2, 3, 4, 5, 6}
 	for _, c := range checks {
-		wins := 0
-		for _, seed := range seeds {
-			r := c.run(Opts{Seed: seed, Duration: 40 * time.Second})
-			if r.Observables[c.starved] < r.Observables[c.winner] {
-				wins++
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			wins := 0
+			for _, seed := range seeds {
+				r := c.run(Opts{Seed: seed, Duration: 40 * time.Second})
+				if r.Observables[c.starved] < r.Observables[c.winner] {
+					wins++
+				}
+				if err := r.Net.Ledger.Check(); err != nil {
+					t.Errorf("seed %d: %v", seed, err)
+				}
 			}
-		}
-		t.Logf("%s: expected loser lost in %d/%d seeds", c.name, wins, len(seeds))
-		if wins < len(seeds)-1 {
-			t.Errorf("%s: expected starved side lost in only %d/%d realizations",
-				c.name, wins, len(seeds))
-		}
+			t.Logf("expected loser lost in %d/%d seeds", wins, len(seeds))
+			if wins < len(seeds)-1 {
+				t.Errorf("expected starved side lost in only %d/%d realizations",
+					wins, len(seeds))
+			}
+		})
 	}
 }
 

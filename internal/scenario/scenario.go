@@ -13,6 +13,7 @@ import (
 	"strings"
 	"time"
 
+	"starvation/internal/guard"
 	"starvation/internal/network"
 	"starvation/internal/obs"
 )
@@ -72,6 +73,11 @@ type Opts struct {
 	// It never alters scheduling or randomness: a run with a probe is
 	// event-for-event identical to one without.
 	Probe obs.Probe
+	// Guard, when non-nil, enables the run-guard layer (stall sweeps,
+	// wall-clock deadline, end-of-run conservation checks) on every
+	// network the scenario assembles. Like Probe it is read-only: flow
+	// results are bit-identical with guards on or off.
+	Guard *guard.Options
 }
 
 func (o *Opts) fill(defaultDur time.Duration) {
@@ -90,6 +96,7 @@ var Registry = map[string]func(Opts) *Result{
 	"bbr-two":          BBRTwoFlowRTT,
 	"vivace-ackagg":    VivaceAckAggregation,
 	"allegro-loss":     AllegroRandomLoss,
+	"allegro-burst":    AllegroBurstLoss,
 	"allegro-both":     AllegroBothLossy,
 	"allegro-single":   AllegroSingleLossy,
 	"fig7-reno":        Fig7Reno,

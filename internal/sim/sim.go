@@ -87,6 +87,9 @@ type Simulator struct {
 	live      int // scheduled and not yet fired or cancelled
 	rng       *rand.Rand
 	halted    bool
+
+	wdEvery uint64
+	wdFn    func() bool
 }
 
 // New returns a simulator whose RNG is seeded with seed. All stochastic
@@ -142,6 +145,20 @@ func (s *Simulator) After(d time.Duration, fn func()) Handle {
 // Halt stops the run loop after the current event returns.
 func (s *Simulator) Halt() { s.halted = true }
 
+// Watchdog installs fn to be consulted every everyN fired events during
+// Run; returning false halts the run. The cadence is event count rather
+// than virtual time so a livelocked run (events firing without the clock
+// advancing) still reaches the watchdog. Watchdog calls schedule nothing
+// and draw no randomness, so enabling one never perturbs a realization.
+// A nil fn (or everyN of 0) removes the watchdog.
+func (s *Simulator) Watchdog(everyN uint64, fn func() bool) {
+	if everyN == 0 {
+		fn = nil
+	}
+	s.wdEvery = everyN
+	s.wdFn = fn
+}
+
 // Run executes events until the queue is empty, the horizon is reached, or
 // Halt is called. The clock is left at the later of its current value and
 // the horizon (when the horizon terminated the run).
@@ -160,6 +177,9 @@ func (s *Simulator) Run(horizon Time) {
 		s.fired++
 		s.live--
 		ev.fn()
+		if s.wdFn != nil && s.fired%s.wdEvery == 0 && !s.wdFn() {
+			s.halted = true
+		}
 	}
 	if s.now < horizon {
 		s.now = horizon
