@@ -2,30 +2,44 @@
 // output directory: CSV data, ASCII previews, and a markdown summary with
 // paper-vs-measured rows (the source material for EXPERIMENTS.md).
 //
-// Each section runs under the run-guard layer: a panic or a blown
-// -deadline is recorded as a structured RunError and the batch continues
-// with the next section. The collected failures are always written to
-// <out>/errors.json — an empty list means a clean batch — and a non-empty
-// list makes the command exit 1 after the batch completes.
+// Sections are independent jobs executed on the internal/runner pool:
+// they run in parallel (-jobs), their artifacts are cached by a
+// content-addressed fingerprint of the section configuration (-cache /
+// -no-cache), and an interrupted batch resumes from <out>/manifest.json,
+// re-simulating only the sections that never completed. Because every
+// section accumulates its output in memory and the driver writes files in
+// declared section order after the batch, the artifacts are byte-identical
+// at any -jobs value — the parity test asserts this.
+//
+// A panic or a blown -deadline inside a section is recorded as a
+// structured RunError and the batch continues with the next section. The
+// collected failures are always written to <out>/errors.json — an empty
+// list means a clean batch — and a non-empty list makes the command exit 1
+// after the batch completes.
 //
 // Usage:
 //
-//	figures [-out results] [-quick] [-only F3,T5.2] [-deadline 10m]
+//	figures [-out results] [-quick] [-only F3,T5.2] [-jobs N] [-deadline 10m]
 package main
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
-	"sync"
 	"time"
 
 	"starvation/internal/ccac"
 	"starvation/internal/core"
 	"starvation/internal/guard"
 	"starvation/internal/obs"
+	"starvation/internal/runner"
 	"starvation/internal/scenario"
 	"starvation/internal/trace"
 	"starvation/internal/units"
@@ -37,65 +51,112 @@ var (
 	only     = flag.String("only", "", "comma-separated experiment IDs to run")
 	obsDir   = flag.String("obs", "", "also write per-scenario event traces (JSONL) and Prometheus metrics for the §5 runs into this directory")
 	deadline = flag.Duration("deadline", 0, "wall-clock budget per section; a section exceeding it is abandoned and recorded in errors.json (0 = no limit)")
+	jobsN    = flag.Int("jobs", 0, "sections to run in parallel (0 = GOMAXPROCS)")
+	cacheDir = flag.String("cache", "", "result cache directory (default <out>/.cache)")
+	noCache  = flag.Bool("no-cache", false, "disable the result cache (every section re-simulates)")
+	listOnly = flag.Bool("list", false, "list section IDs in run order and exit")
 )
 
-// reporter accumulates the markdown summary. It is mutex-guarded because a
-// section abandoned on deadline keeps running in its goroutine (Go cannot
-// kill it) and may still emit rows while the batch moves on.
-type reporter struct {
-	mu      sync.Mutex
-	summary strings.Builder
-	filter  map[string]bool
+// timeNow stamps the summary header; a variable so tests can pin it and
+// assert byte-identical summaries across runs.
+var timeNow = time.Now
+
+// artifactFile is one output file produced by a section, held in memory
+// until the driver writes it (Obs files go to -obs, the rest to -out).
+type artifactFile struct {
+	Name string `json:"name"`
+	Obs  bool   `json:"obs,omitempty"`
+	Data []byte `json:"data"`
 }
 
-func (r *reporter) wants(id string) bool {
-	if len(r.filter) == 0 {
-		return true
-	}
-	return r.filter[id]
+// sectionArtifact is the serialized outcome of one section: its summary
+// fragment, its console transcript, and its data files. This is what the
+// runner caches, so a cache hit restores everything a re-run would print
+// and write.
+type sectionArtifact struct {
+	Summary string         `json:"summary"`
+	Console string         `json:"console"`
+	Files   []artifactFile `json:"files,omitempty"`
+}
+
+// reporter accumulates one section's output in memory. Each job gets its
+// own reporter, so sections never contend: no locks, and parallel batches
+// produce the same bytes as sequential ones once the driver assembles the
+// artifacts in declared order.
+type reporter struct {
+	summary strings.Builder
+	console strings.Builder
+	obs     bool
+	files   []artifactFile
 }
 
 func (r *reporter) section(id, title string) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	fmt.Fprintf(&r.summary, "\n## %s — %s\n\n", id, title)
-	fmt.Printf("=== %s — %s\n", id, title)
+	fmt.Fprintf(&r.console, "=== %s — %s\n", id, title)
 }
 
 func (r *reporter) row(format string, args ...any) {
 	line := fmt.Sprintf(format, args...)
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	fmt.Fprintf(&r.summary, "%s\n", line)
-	fmt.Println(line)
+	fmt.Fprintf(&r.console, "%s\n", line)
 }
 
-func (r *reporter) text() string {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.summary.String()
+// print emits console-only output (ASCII plots, tables).
+func (r *reporter) print(args ...any) {
+	fmt.Fprintln(&r.console, args...)
 }
 
-// save panics on I/O errors rather than exiting: sections run under
-// guard.Section, which converts the panic into a RunError and lets the
-// rest of the batch produce its figures.
-func (r *reporter) save(name string, write func(f *os.File) error) {
-	path := filepath.Join(*outDir, name)
-	f, err := os.Create(path)
-	if err != nil {
-		panic(fmt.Sprintf("figures: %v", err))
+// save captures a data file. It panics on serialization errors rather
+// than exiting: the runner converts the panic into a RunError and lets
+// the rest of the batch produce its figures.
+func (r *reporter) save(name string, write func(w io.Writer) error) {
+	var buf bytes.Buffer
+	if err := write(&buf); err != nil {
+		panic(fmt.Sprintf("figures: writing %s: %v", name, err))
 	}
-	defer f.Close()
-	if err := write(f); err != nil {
-		panic(fmt.Sprintf("figures: writing %s: %v", path, err))
+	r.files = append(r.files, artifactFile{Name: name, Data: buf.Bytes()})
+	r.row("- data: `%s`", name)
+}
+
+// observe wires a JSONL probe into opts when -obs is set and returns a
+// function that, given the finished result, captures the event trace and
+// the scenario's metrics file. With -obs unset it is a no-op.
+func (r *reporter) observe(name string, opts *scenario.Opts) func(*scenario.Result) {
+	if !r.obs {
+		return func(*scenario.Result) {}
 	}
-	r.row("- data: `%s`", path)
+	var events bytes.Buffer
+	jw := obs.NewJSONLWriter(&events)
+	opts.Probe = jw
+	return func(res *scenario.Result) {
+		if err := jw.Close(); err != nil {
+			panic(fmt.Sprintf("figures: -obs: %v", err))
+		}
+		r.files = append(r.files, artifactFile{Name: name + "_events.jsonl", Obs: true, Data: events.Bytes()})
+		if res.Net == nil {
+			return
+		}
+		var metrics bytes.Buffer
+		if err := obs.WritePrometheus(&metrics, &res.Net.Obs); err != nil {
+			panic(fmt.Sprintf("figures: -obs: %v", err))
+		}
+		r.files = append(r.files, artifactFile{Name: name + "_metrics.txt", Obs: true, Data: metrics.Bytes()})
+	}
+}
+
+// artifact serializes the reporter for the cache.
+func (r *reporter) artifact() ([]byte, error) {
+	return json.Marshal(sectionArtifact{
+		Summary: r.summary.String(),
+		Console: r.console.String(),
+		Files:   r.files,
+	})
 }
 
 // batchSection is one independently guarded unit of the batch.
 type batchSection struct {
 	id string
-	fn func(*reporter)
+	fn func(context.Context, *reporter)
 }
 
 var sections = []batchSection{
@@ -113,26 +174,101 @@ var sections = []batchSection{
 	{"X-CCAC", appendixC},
 }
 
-// runBatch runs every wanted section under guard.Section, collecting
-// failures instead of aborting: one panicking or deadline-blown section
-// costs only its own figures.
-func runBatch(r *reporter, secs []batchSection, perSection time.Duration) guard.Manifest {
-	var man guard.Manifest
+// sectionKey is the cache identity of a section: the section ID plus
+// every flag that changes its output. The -obs flag participates because
+// an observed run carries extra files; -out does not because artifacts
+// reference file names relative to the output directory.
+func sectionKey(id string) runner.Key {
+	return runner.Key{
+		Kind:     "figures-section",
+		Scenario: id,
+		Params: []string{
+			fmt.Sprintf("quick=%v", *quick),
+			fmt.Sprintf("obs=%v", *obsDir != ""),
+		},
+	}
+}
+
+// sectionJobs converts the wanted sections into runner jobs. Each job
+// builds a fresh reporter, runs the section, and serializes the result.
+func sectionJobs(secs []batchSection, filter map[string]bool) []runner.Job {
+	var jobs []runner.Job
 	for _, s := range secs {
-		if !r.wants(s.id) {
+		if len(filter) > 0 && !filter[s.id] {
 			continue
 		}
 		fn := s.fn
-		if e := guard.Section(s.id, perSection, func() { fn(r) }); e != nil {
-			fmt.Fprintf(os.Stderr, "figures: %v (continuing)\n", e)
-			man.Add(e)
+		jobs = append(jobs, runner.Job{
+			ID:  s.id,
+			Key: sectionKey(s.id),
+			Run: func(ctx context.Context) ([]byte, error) {
+				r := &reporter{obs: *obsDir != ""}
+				fn(ctx, r)
+				// A cancelled context halted the section's simulations at
+				// the next run tick, so whatever the reporter holds is
+				// truncated: fail the job instead of caching bad data.
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				return r.artifact()
+			},
+		})
+	}
+	return jobs
+}
+
+// collectErrors gathers the batch's failures into the errors.json
+// manifest, preserving the old guard.Section contract: an explicit empty
+// list distinguishes "clean" from "never ran".
+func collectErrors(results []runner.JobResult) guard.Manifest {
+	var man guard.Manifest
+	for _, res := range results {
+		if res.Err != nil {
+			man.Add(res.Err)
 		}
 	}
 	return man
 }
 
+// assemble writes the batch outputs in declared section order: the
+// summary fragments into summary.md, the console transcripts to stdout,
+// and every data file into -out (or -obs). Failed sections contribute
+// nothing here; they are reported via errors.json.
+func assemble(w io.Writer, results []runner.JobResult) error {
+	var summary strings.Builder
+	fmt.Fprintf(&summary, "# Regenerated figures and tables\n\ngenerated %s, quick=%v\n",
+		timeNow().Format(time.RFC3339), *quick)
+	for _, res := range results {
+		if res.Err != nil {
+			continue
+		}
+		var art sectionArtifact
+		if err := json.Unmarshal(res.Artifact, &art); err != nil {
+			return fmt.Errorf("section %s: corrupt artifact: %v", res.ID, err)
+		}
+		summary.WriteString(art.Summary)
+		fmt.Fprint(w, art.Console)
+		for _, f := range art.Files {
+			dir := *outDir
+			if f.Obs {
+				dir = *obsDir
+			}
+			if err := os.WriteFile(filepath.Join(dir, f.Name), f.Data, 0o644); err != nil {
+				return err
+			}
+		}
+	}
+	return os.WriteFile(filepath.Join(*outDir, "summary.md"), []byte(summary.String()), 0o644)
+}
+
 func main() {
 	flag.Parse()
+	if *listOnly {
+		for _, s := range sections {
+			fmt.Println(s.id)
+		}
+		return
+	}
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -143,29 +279,59 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	r := &reporter{}
+	var filter map[string]bool
 	if *only != "" {
-		r.filter = map[string]bool{}
+		filter = map[string]bool{}
 		for _, id := range strings.Split(*only, ",") {
-			r.filter[strings.TrimSpace(id)] = true
+			filter[strings.TrimSpace(id)] = true
 		}
 	}
-	fmt.Fprintf(&r.summary, "# Regenerated figures and tables\n\ngenerated %s, quick=%v\n",
-		time.Now().Format(time.RFC3339), *quick)
 
-	man := runBatch(r, sections, *deadline)
+	// An interrupt cancels the batch context: running sections stop at
+	// the next run tick, the manifest records what completed, and the
+	// next invocation resumes from the cache.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
+	pool := &runner.Pool{
+		Jobs:        *jobsN,
+		JobDeadline: *deadline,
+		Manifest:    runner.LoadManifest(filepath.Join(*outDir, "manifest.json")),
+		Progress: func(ev runner.ProgressEvent) {
+			switch ev.Kind {
+			case runner.ProgressStart:
+				fmt.Fprintf(os.Stderr, "=== %s: running\n", ev.Job)
+			case runner.ProgressFailed:
+				fmt.Fprintf(os.Stderr, "[%d/%d] %s: %v (continuing)\n", ev.Done, ev.Total, ev.Job, ev.Err)
+			default:
+				fmt.Fprintf(os.Stderr, "[%d/%d] %s: %s (%v)\n", ev.Done, ev.Total, ev.Job,
+					ev.Kind, ev.Elapsed.Round(time.Millisecond))
+			}
+		},
+	}
+	if !*noCache {
+		dir := *cacheDir
+		if dir == "" {
+			dir = filepath.Join(*outDir, ".cache")
+		}
+		pool.Cache = &runner.Cache{Dir: dir}
+	}
+
+	results := pool.Run(ctx, sectionJobs(sections, filter))
+
+	man := collectErrors(results)
 	errPath := filepath.Join(*outDir, "errors.json")
 	if err := man.WriteFile(errPath); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	sumPath := filepath.Join(*outDir, "summary.md")
-	if err := os.WriteFile(sumPath, []byte(r.text()), 0o644); err != nil {
+	if err := assemble(os.Stdout, results); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("\nsummary written to %s\n", sumPath)
+	st := pool.Stats()
+	fmt.Printf("\n%d simulated, %d cached, %d failed; summary written to %s\n",
+		st.Executed, st.CacheHits, st.Failed, filepath.Join(*outDir, "summary.md"))
 	if len(man.Errors) > 0 {
 		fmt.Fprintf(os.Stderr, "figures: %d section(s) failed; see %s\n", len(man.Errors), errPath)
 		os.Exit(1)
@@ -181,21 +347,21 @@ func dur(long, short time.Duration) time.Duration {
 
 // fig1 regenerates Figure 1: ideal-path RTT convergence of a
 // delay-convergent CCA (Vegas as the concrete instance).
-func fig1(r *reporter) {
+func fig1(ctx context.Context, r *reporter) {
 	r.section("F1", "ideal-path RTT convergence (Vegas, 12 Mbit/s, Rm=100ms)")
 	conv := core.MeasureConvergence(ccaFactory("vegas"), units.Mbps(12),
-		100*time.Millisecond, core.MeasureOpts{Duration: dur(30*time.Second, 10*time.Second)})
+		100*time.Millisecond, core.MeasureOpts{Duration: dur(30*time.Second, 10*time.Second), Ctx: ctx})
 	r.row("- converged at T=%v to [dmin=%v, dmax=%v], δ=%v",
 		conv.ConvergedAt.Round(time.Millisecond),
 		conv.DMin.Round(10*time.Microsecond), conv.DMax.Round(10*time.Microsecond),
 		conv.Delta.Round(10*time.Microsecond))
-	r.save("fig1_rtt.csv", func(f *os.File) error { return conv.RTT.WriteCSV(f) })
-	fmt.Println(trace.ASCIIPlot(conv.RTT, 72, 12, "RTT (s)"))
+	r.save("fig1_rtt.csv", func(w io.Writer) error { return conv.RTT.WriteCSV(w) })
+	r.print(trace.ASCIIPlot(conv.RTT, 72, 12, "RTT (s)"))
 }
 
 // fig3 regenerates Figure 3: the rate-delay graphs of the delay-bounding
 // CCAs.
-func fig3(r *reporter) {
+func fig3(ctx context.Context, r *reporter) {
 	r.section("F3", "rate-delay graphs (Rm=100ms)")
 	n := 7
 	lo, hi := units.Mbps(0.4), units.Mbps(100)
@@ -206,27 +372,27 @@ func fig3(r *reporter) {
 	rates := core.LogSpace(lo, hi, n)
 	for _, name := range []string{"vegas", "fast", "copa", "ledbat", "verus", "bbr", "vivace", "algo1"} {
 		sw := core.RateDelaySweep(name, ccaFactory(name), 100*time.Millisecond, rates,
-			core.MeasureOpts{Duration: dur(30*time.Second, 12*time.Second)})
-		r.save("fig3_"+name+".csv", func(f *os.File) error { return sw.WriteCSV(f) })
+			core.MeasureOpts{Duration: dur(30*time.Second, 12*time.Second), Ctx: ctx})
+		r.save("fig3_"+name+".csv", func(w io.Writer) error { return sw.WriteCSV(w) })
 		r.row("- %s: δmax=%v, dmax-bound=%v over C>%v", name,
 			sw.DeltaMax(lo).Round(10*time.Microsecond),
 			sw.DMaxBound(lo).Round(10*time.Microsecond), lo)
-		fmt.Println(sw)
+		r.print(sw)
 	}
 }
 
 // fig4 regenerates Figure 4: the pigeonhole search for a colliding pair of
 // link rates.
-func fig4(r *reporter) {
+func fig4(ctx context.Context, r *reporter) {
 	r.section("F4", "pigeonhole search (Vegas, s=8, f=0.8, Rm=50ms)")
 	res := core.PigeonholeSearch(ccaFactory("vegas"), 50*time.Millisecond,
 		8, 0.8, 5*time.Millisecond, units.Mbps(4), 6,
-		core.MeasureOpts{Duration: dur(25*time.Second, 10*time.Second)})
+		core.MeasureOpts{Duration: dur(25*time.Second, 10*time.Second), Ctx: ctx})
 	r.row("- %s", res)
 }
 
 // fig5 regenerates Figures 5/6: the Theorem 1 trajectory emulation.
-func fig5(r *reporter) {
+func fig5(ctx context.Context, r *reporter) {
 	r.section("F5/F6", "Theorem 1 construction (Vegas, C1=12, C2=384 Mbit/s)")
 	res := core.EmulateTwoFlow(core.EmulationSpec{
 		Make:     vegasRestartable,
@@ -234,7 +400,7 @@ func fig5(r *reporter) {
 		C1:       units.Mbps(12),
 		C2:       units.Mbps(384),
 		D:        20 * time.Millisecond,
-		Measure:  core.MeasureOpts{Duration: dur(30*time.Second, 12*time.Second)},
+		Measure:  core.MeasureOpts{Duration: dur(30*time.Second, 12*time.Second), Ctx: ctx},
 		Duration: dur(30*time.Second, 12*time.Second),
 	})
 	r.row("- preconditions hold: %v (δmax=%v, ε=%v, gap=%v)",
@@ -242,9 +408,9 @@ func fig5(r *reporter) {
 		res.Epsilon.Round(time.Microsecond), res.DelayGap.Round(time.Microsecond))
 	r.row("- starvation ratio %.1f (thpts %v vs %v)", res.Ratio,
 		res.TwoFlow.Flows[0].Stat.SteadyThpt, res.TwoFlow.Flows[1].Stat.SteadyThpt)
-	r.save("fig5_trajectories.csv", func(f *os.File) error {
+	r.save("fig5_trajectories.csv", func(w io.Writer) error {
 		end := res.TwoFlow.Duration
-		return trace.WriteMultiCSV(f, 0, end, 100*time.Millisecond,
+		return trace.WriteMultiCSV(w, 0, end, 100*time.Millisecond,
 			res.Target1, res.Target2,
 			res.TwoFlow.Flows[0].RTT, res.TwoFlow.Flows[1].RTT,
 			res.TwoFlow.Flows[0].Rate, res.TwoFlow.Flows[1].Rate)
@@ -253,31 +419,31 @@ func fig5(r *reporter) {
 
 // fig7 regenerates Figure 7: Reno/Cubic cwnd evolution under delayed-ACK
 // burstiness.
-func fig7(r *reporter) {
+func fig7(ctx context.Context, r *reporter) {
 	r.section("F7", "Reno/Cubic cwnd evolution, delayed ACKs ×4 on one flow")
 	for _, fn := range []func(scenario.Opts) *scenario.Result{scenario.Fig7Reno, scenario.Fig7Cubic} {
-		res := fn(scenario.Opts{Duration: dur(200*time.Second, 60*time.Second)})
+		res := fn(scenario.Opts{Duration: dur(200*time.Second, 60*time.Second), Ctx: ctx})
 		r.row("- %s: ratio %.2f (paper %s)", res.ID, res.Observables["ratio"], res.PaperClaim)
 		id := strings.ReplaceAll(res.ID, ".", "_")
-		r.save(id+"_cwnd.csv", func(f *os.File) error {
+		r.save(id+"_cwnd.csv", func(w io.Writer) error {
 			end := res.Net.Duration
-			return trace.WriteMultiCSV(f, 0, end, 500*time.Millisecond,
+			return trace.WriteMultiCSV(w, 0, end, 500*time.Millisecond,
 				res.Net.Flows[0].Cwnd, res.Net.Flows[1].Cwnd)
 		})
-		fmt.Println(trace.ASCIIPlot(res.Net.Flows[0].Cwnd, 72, 10, res.ID+" delacked cwnd (B)"))
+		r.print(trace.ASCIIPlot(res.Net.Flows[0].Cwnd, 72, 10, res.ID+" delacked cwnd (B)"))
 	}
 }
 
-// tables5 runs every §5 experiment. With -obs set, each run streams its
-// packet-lifecycle events to <obs>/<name>_events.jsonl and its end-of-run
-// counters to <obs>/<name>_metrics.txt.
-func tables5(r *reporter) {
+// tables5 runs every §5 experiment. With -obs set, each run captures its
+// packet-lifecycle events as <name>_events.jsonl and its end-of-run
+// counters as <name>_metrics.txt, written into the -obs directory.
+func tables5(ctx context.Context, r *reporter) {
 	r.section("T5", "§5 starvation experiments")
 	for _, name := range []string{"copa-single", "copa-two", "bbr-two",
 		"vivace-ackagg", "allegro-loss", "allegro-burst", "allegro-both",
 		"allegro-single"} {
-		opts := scenario.Opts{Duration: dur(0, 30*time.Second)}
-		finish := observe(name, &opts)
+		opts := scenario.Opts{Duration: dur(0, 30*time.Second), Ctx: ctx}
+		finish := r.observe(name, &opts)
 		res := scenario.Registry[name](opts)
 		finish(res)
 		r.row("### %s", res.ID)
@@ -285,48 +451,9 @@ func tables5(r *reporter) {
 	}
 }
 
-// observe wires a JSONL probe into opts when -obs is set and returns a
-// function that, given the finished result, closes the trace and writes
-// the scenario's metrics file. With -obs unset it is a no-op.
-func observe(name string, opts *scenario.Opts) func(*scenario.Result) {
-	if *obsDir == "" {
-		return func(*scenario.Result) {}
-	}
-	// Panic, not exit: observe is only called from inside a guarded
-	// section, so the batch records the failure and continues.
-	fail := func(err error) {
-		panic(fmt.Sprintf("figures: -obs: %v", err))
-	}
-	f, err := os.Create(filepath.Join(*obsDir, name+"_events.jsonl"))
-	if err != nil {
-		fail(err)
-	}
-	jw := obs.NewJSONLWriter(f)
-	opts.Probe = jw
-	return func(res *scenario.Result) {
-		if err := jw.Close(); err != nil {
-			fail(err)
-		}
-		if err := f.Close(); err != nil {
-			fail(err)
-		}
-		if res.Net == nil {
-			return
-		}
-		mf, err := os.Create(filepath.Join(*obsDir, name+"_metrics.txt"))
-		if err != nil {
-			fail(err)
-		}
-		defer mf.Close()
-		if err := obs.WritePrometheus(mf, &res.Net.Obs); err != nil {
-			fail(err)
-		}
-	}
-}
-
 // table63 regenerates the §6.3 figure-of-merit comparison and the
 // Algorithm 1 fairness demonstration.
-func table63(r *reporter) {
+func table63(ctx context.Context, r *reporter) {
 	r.section("T6.3", "figure-of-merit μ+/μ− and Algorithm 1 fairness")
 	rm := time.Duration(0)
 	rmax := 100 * time.Millisecond
@@ -337,17 +464,17 @@ func table63(r *reporter) {
 				core.ExponentialFigureOfMerit(rmax, rm, d, s))
 		}
 	}
-	res := scenario.Algo1Fairness(scenario.Opts{Duration: dur(120*time.Second, 40*time.Second)})
+	res := scenario.Algo1Fairness(scenario.Opts{Duration: dur(120*time.Second, 40*time.Second), Ctx: ctx})
 	r.row("- Algorithm 1 under jitter: ratio %.2f (bound s=%.0f), utilization %.3f",
 		res.Observables["ratio"], res.Observables["s_bound"], res.Observables["utilization"])
-	veg := scenario.VegasUnderJitter(scenario.Opts{Duration: dur(120*time.Second, 40*time.Second)})
+	veg := scenario.VegasUnderJitter(scenario.Opts{Duration: dur(120*time.Second, 40*time.Second), Ctx: ctx})
 	r.row("- Vegas in the same setting: ratio %.1f (starves)", veg.Observables["ratio"])
 }
 
 // ablation runs the §6.3 design-choice ablation for Algorithm 1.
-func ablation(r *reporter) {
+func ablation(ctx context.Context, r *reporter) {
 	r.section("X-A1-ablation", "Algorithm 1 design ablation (AIMD/per-Rm vs rejected variants)")
-	res := scenario.Algo1Ablation(scenario.Opts{Duration: dur(120*time.Second, 40*time.Second)})
+	res := scenario.Algo1Ablation(scenario.Opts{Duration: dur(120*time.Second, 40*time.Second), Ctx: ctx})
 	r.row("- AIMD per-Rm (published): ratio %.2f, utilization %.3f",
 		res.Observables["aimd_ratio"], res.Observables["aimd_utilization"])
 	r.row("- AIAD variant (rejected): ratio %.2f, utilization %.3f",
@@ -357,9 +484,9 @@ func ablation(r *reporter) {
 }
 
 // ecnSection runs the §6.4 ECN demonstration.
-func ecnSection(r *reporter) {
+func ecnSection(ctx context.Context, r *reporter) {
 	r.section("X-ECN", "§6.4: explicit signaling avoids starvation")
-	res := scenario.ECNAvoidsStarvation(scenario.Opts{Duration: dur(60*time.Second, 30*time.Second)})
+	res := scenario.ECNAvoidsStarvation(scenario.Opts{Duration: dur(60*time.Second, 30*time.Second), Ctx: ctx})
 	r.row("- ECN-reacting loss-blind AIMD: ratio %.2f, jain %.3f, utilization %.3f",
 		res.Observables["ecn_ratio"], res.Observables["ecn_jain"], res.Observables["ecn_utilization"])
 	r.row("- loss-reacting AIMD (control): ratio %.2f, jain %.3f",
@@ -367,14 +494,14 @@ func ecnSection(r *reporter) {
 }
 
 // theorem2 regenerates the under-utilization construction.
-func theorem2(r *reporter) {
+func theorem2(ctx context.Context, r *reporter) {
 	r.section("X-T2", "Theorem 2: arbitrary under-utilization")
 	res := core.UnderutilizationConstruction(core.UnderutilizationSpec{
 		Make:       vegasRestartable,
 		Rm:         50 * time.Millisecond,
 		C:          units.Mbps(12),
 		Multiplier: 50,
-		Measure:    core.MeasureOpts{Duration: dur(20*time.Second, 10*time.Second)},
+		Measure:    core.MeasureOpts{Duration: dur(20*time.Second, 10*time.Second), Ctx: ctx},
 		Duration:   dur(20*time.Second, 10*time.Second),
 	})
 	r.row("- emulated C=%v on C'=%v with D=%v: utilization %.4f",
@@ -382,7 +509,7 @@ func theorem2(r *reporter) {
 }
 
 // theorem3 regenerates the Appendix B strong-model construction.
-func theorem3(r *reporter) {
+func theorem3(ctx context.Context, r *reporter) {
 	r.section("X-T3", "Theorem 3: strong-model starvation (Appendix B)")
 	res := core.StrongModelConstruction(core.StrongModelSpec{
 		Make:     vegasRestartable,
@@ -391,6 +518,7 @@ func theorem3(r *reporter) {
 		D:        5 * time.Millisecond,
 		S:        2,
 		Duration: dur(20*time.Second, 10*time.Second),
+		Ctx:      ctx,
 	})
 	for _, st := range res.Steps {
 		r.row("- step %d: maxDelay=%v, throughput=%v", st.Index,
@@ -402,7 +530,7 @@ func theorem3(r *reporter) {
 }
 
 // appendixC runs the bounded adversary search.
-func appendixC(r *reporter) {
+func appendixC(_ context.Context, r *reporter) {
 	r.section("X-CCAC", "Appendix C: bounded multi-flow adversary search")
 	clean := ccac.Search(ccac.Params{CPkts: 20, BufferPkts: 20, Depth: 10})
 	inj := ccac.Search(ccac.Params{CPkts: 20, BufferPkts: 20, Depth: 10, InjectLoss: true})

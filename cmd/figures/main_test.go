@@ -1,7 +1,11 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"fmt"
+	"io"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"strings"
@@ -9,28 +13,198 @@ import (
 	"time"
 
 	"starvation/internal/guard"
+	"starvation/internal/runner"
 )
 
-// TestBatchDegradesGracefully forces one panicking section and one
-// deadline-exceeding section into a batch and checks the remaining
-// sections still run, the failures land in the manifest with the right
-// kinds, and the manifest serializes to a readable errors.json.
-func TestBatchDegradesGracefully(t *testing.T) {
-	dir := t.TempDir()
-	oldOut := *outDir
-	*outDir = dir
-	defer func() { *outDir = oldOut }()
+// withDirs points the output flags at temp dirs for one test.
+func withDirs(t *testing.T) (out, obs string) {
+	t.Helper()
+	out, obs = t.TempDir(), t.TempDir()
+	oldOut, oldObs := *outDir, *obsDir
+	*outDir, *obsDir = out, obs
+	t.Cleanup(func() { *outDir, *obsDir = oldOut, oldObs })
+	return out, obs
+}
 
+// fakeSections builds a deterministic synthetic batch: every section
+// emits summary rows, console text, and data files derived from its ID,
+// and sleeps a varying amount so parallel completion order scrambles.
+func fakeSections(n int) []batchSection {
+	secs := make([]batchSection, n)
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("S%02d", i)
+		sleep := time.Duration((n-i)%4) * time.Millisecond
+		secs[i] = batchSection{id, func(_ context.Context, r *reporter) {
+			time.Sleep(sleep)
+			r.section(id, "synthetic section "+id)
+			r.row("- value %s = %d", id, len(id)*7)
+			r.print("console-only plot for " + id)
+			r.save(id+"_data.csv", func(w io.Writer) error {
+				_, err := fmt.Fprintf(w, "id,sq\n%s,%d\n", id, i*i)
+				return err
+			})
+		}}
+	}
+	return secs
+}
+
+// snapshotTree reads every regular file under dir into a map keyed by
+// relative path, skipping the cache (whose entry mtimes differ by design).
+func snapshotTree(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	files := map[string]string{}
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == ".cache" {
+				return fs.SkipDir
+			}
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, _ := filepath.Rel(dir, path)
+		files[rel] = string(data)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("snapshot %s: %v", dir, err)
+	}
+	return files
+}
+
+// runDriver executes the full driver path — jobs, pool, errors.json,
+// assemble — exactly as main does, into the current *outDir.
+func runDriver(t *testing.T, secs []batchSection, w io.Writer, pool *runner.Pool) ([]runner.JobResult, guard.Manifest) {
+	t.Helper()
+	results := pool.Run(context.Background(), sectionJobs(secs, nil))
+	man := collectErrors(results)
+	if err := man.WriteFile(filepath.Join(*outDir, "errors.json")); err != nil {
+		t.Fatalf("errors.json: %v", err)
+	}
+	if err := assemble(w, results); err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return results, man
+}
+
+// TestParallelMatchesSequential is the parity contract of the tentpole:
+// a batch at -jobs 8 produces a byte-identical output tree (summary.md,
+// errors.json, every data file) and console transcript to the same batch
+// at -jobs 1.
+func TestParallelMatchesSequential(t *testing.T) {
+	oldNow := timeNow
+	timeNow = func() time.Time { return time.Date(2022, 8, 22, 9, 0, 0, 0, time.UTC) }
+	defer func() { timeNow = oldNow }()
+
+	secs := fakeSections(12)
+	run := func(jobs int) (map[string]string, string) {
+		out, _ := withDirs(t)
+		var console strings.Builder
+		runDriver(t, secs, &console, &runner.Pool{Jobs: jobs})
+		return snapshotTree(t, out), console.String()
+	}
+	seqTree, seqConsole := run(1)
+	parTree, parConsole := run(8)
+
+	if len(seqTree) != len(parTree) {
+		t.Fatalf("tree sizes differ: sequential %d files, parallel %d", len(seqTree), len(parTree))
+	}
+	for rel, want := range seqTree {
+		got, ok := parTree[rel]
+		if !ok {
+			t.Errorf("parallel run missing %s", rel)
+			continue
+		}
+		if got != want {
+			t.Errorf("%s differs between -jobs 1 and -jobs 8:\n seq: %q\n par: %q", rel, want, got)
+		}
+	}
+	if seqConsole != parConsole {
+		t.Errorf("console transcript differs between -jobs 1 and -jobs 8")
+	}
+	if len(seqTree) < 14 { // 12 data files + summary.md + errors.json
+		t.Errorf("sequential tree has only %d files: %v", len(seqTree), seqTree)
+	}
+}
+
+// TestWarmCacheRerun checks the caching contract: a second identical
+// batch re-simulates zero sections yet reproduces the output tree
+// byte-for-byte.
+func TestWarmCacheRerun(t *testing.T) {
+	oldNow := timeNow
+	timeNow = func() time.Time { return time.Date(2022, 8, 22, 9, 0, 0, 0, time.UTC) }
+	defer func() { timeNow = oldNow }()
+
+	out, _ := withDirs(t)
+	cache := &runner.Cache{Dir: filepath.Join(out, ".cache")}
+	secs := fakeSections(6)
+
+	cold := &runner.Pool{Jobs: 2, Cache: cache}
+	runDriver(t, secs, io.Discard, cold)
+	coldTree := snapshotTree(t, out)
+	if st := cold.Stats(); st.Executed != 6 || st.CacheHits != 0 {
+		t.Fatalf("cold stats = %+v, want 6 executed", st)
+	}
+
+	warm := &runner.Pool{Jobs: 2, Cache: cache}
+	runDriver(t, secs, io.Discard, warm)
+	if st := warm.Stats(); st.Executed != 0 || st.CacheHits != 6 {
+		t.Errorf("warm stats = %+v, want 0 executed 6 cached", st)
+	}
+	warmTree := snapshotTree(t, out)
+	for rel, want := range coldTree {
+		if warmTree[rel] != want {
+			t.Errorf("%s differs after warm rerun", rel)
+		}
+	}
+}
+
+// TestPartialThenFullBatch checks resume granularity at the driver level:
+// after a batch restricted by -only, a full batch executes exactly the
+// sections the first run skipped.
+func TestPartialThenFullBatch(t *testing.T) {
+	out, _ := withDirs(t)
+	cache := &runner.Cache{Dir: filepath.Join(out, ".cache")}
+	manPath := filepath.Join(out, "manifest.json")
+	secs := fakeSections(5)
+
+	partial := &runner.Pool{Jobs: 2, Cache: cache, Manifest: runner.LoadManifest(manPath)}
+	partial.Run(context.Background(), sectionJobs(secs, map[string]bool{"S00": true, "S03": true}))
+	if st := partial.Stats(); st.Executed != 2 {
+		t.Fatalf("partial stats = %+v, want 2 executed", st)
+	}
+
+	full := &runner.Pool{Jobs: 2, Cache: cache, Manifest: runner.LoadManifest(manPath)}
+	runDriver(t, secs, io.Discard, full)
+	if st := full.Stats(); st.Executed != 3 || st.CacheHits != 2 {
+		t.Errorf("full stats = %+v, want 3 executed 2 cached", st)
+	}
+	if full.Manifest.Len() != 5 {
+		t.Errorf("manifest records %d jobs, want 5", full.Manifest.Len())
+	}
+}
+
+// TestBatchDegradesGracefully forces one panicking section and one stuck
+// section into a batch and checks the remaining sections still run, the
+// failures land in errors.json with the right kinds, and the assembled
+// summary carries the healthy sections.
+func TestBatchDegradesGracefully(t *testing.T) {
+	out, _ := withDirs(t)
 	release := make(chan struct{})
 	defer close(release)
-	r := &reporter{}
 	secs := []batchSection{
-		{"ok-before", func(r *reporter) { r.row("- ok-before ran") }},
-		{"boom", func(*reporter) { panic("forced failure") }},
-		{"stuck", func(*reporter) { <-release }},
-		{"ok-after", func(r *reporter) { r.row("- ok-after ran") }},
+		{"ok-before", func(_ context.Context, r *reporter) { r.row("- ok-before ran") }},
+		{"boom", func(context.Context, *reporter) { panic("forced failure") }},
+		{"stuck", func(context.Context, *reporter) { <-release }},
+		{"ok-after", func(_ context.Context, r *reporter) { r.row("- ok-after ran") }},
 	}
-	man := runBatch(r, secs, 50*time.Millisecond)
+	pool := &runner.Pool{Jobs: 1, JobDeadline: 50 * time.Millisecond, Grace: 50 * time.Millisecond}
+	_, man := runDriver(t, secs, io.Discard, pool)
 
 	if len(man.Errors) != 2 {
 		t.Fatalf("manifest has %d errors, want 2: %+v", len(man.Errors), man.Errors)
@@ -47,20 +221,20 @@ func TestBatchDegradesGracefully(t *testing.T) {
 	if man.Errors[1].Scenario != "stuck" || man.Errors[1].Kind != guard.KindDeadline {
 		t.Errorf("second error = %+v, want scenario stuck kind deadline", man.Errors[1])
 	}
-	sum := r.text()
+
+	sum, err := os.ReadFile(filepath.Join(out, "summary.md"))
+	if err != nil {
+		t.Fatalf("summary.md: %v", err)
+	}
 	for _, want := range []string{"ok-before ran", "ok-after ran"} {
-		if !strings.Contains(sum, want) {
+		if !strings.Contains(string(sum), want) {
 			t.Errorf("summary missing %q: sections after a failure must still run", want)
 		}
 	}
 
-	errPath := filepath.Join(dir, "errors.json")
-	if err := man.WriteFile(errPath); err != nil {
-		t.Fatalf("WriteFile: %v", err)
-	}
-	data, err := os.ReadFile(errPath)
+	data, err := os.ReadFile(filepath.Join(out, "errors.json"))
 	if err != nil {
-		t.Fatalf("ReadFile: %v", err)
+		t.Fatalf("errors.json: %v", err)
 	}
 	var got guard.Manifest
 	if err := json.Unmarshal(data, &got); err != nil {
@@ -71,24 +245,59 @@ func TestBatchDegradesGracefully(t *testing.T) {
 	}
 }
 
+// TestCancelledSectionNotCached pins the truncation contract: a section
+// whose context is cancelled mid-run halts its simulations early, so its
+// (truncated) output must be recorded as a failure — never written to
+// the output tree or the cache — and must re-execute on the next batch.
+func TestCancelledSectionNotCached(t *testing.T) {
+	out, _ := withDirs(t)
+	cache := &runner.Cache{Dir: filepath.Join(out, ".cache")}
+	batchCtx, interrupt := context.WithCancel(context.Background())
+	defer interrupt()
+	secs := []batchSection{
+		{"truncated", func(ctx context.Context, r *reporter) {
+			r.section("truncated", "halts mid-run")
+			interrupt()  // the user hits Ctrl-C mid-section
+			<-ctx.Done() // the sim event loop notices and returns early
+			r.row("- partial data from a truncated run")
+		}},
+	}
+	pool := &runner.Pool{Jobs: 1, Cache: cache}
+	results := pool.Run(batchCtx, sectionJobs(secs, nil))
+	if e := results[0].Err; e == nil || e.Kind != guard.KindCancelled {
+		t.Fatalf("truncated section = %+v, want a cancellation RunError", e)
+	}
+	if man := collectErrors(results); len(man.Errors) != 1 {
+		t.Errorf("errors manifest has %d entries, want 1", len(man.Errors))
+	}
+
+	// A fresh batch over the same cache must re-simulate, not restore.
+	again := &runner.Pool{Jobs: 1, Cache: cache}
+	res2 := again.Run(context.Background(), sectionJobs([]batchSection{
+		{"truncated", func(_ context.Context, r *reporter) {
+			r.section("truncated", "halts mid-run")
+			r.row("- complete data this time")
+		}},
+	}, nil))
+	if res2[0].Err != nil || res2[0].Cached {
+		t.Errorf("re-run = %+v, want fresh execution (truncated result must not have been cached)", res2[0])
+	}
+}
+
 // TestBatchCleanManifest checks a failure-free batch writes an explicit
 // empty error list, distinguishing "clean" from "never ran".
 func TestBatchCleanManifest(t *testing.T) {
-	dir := t.TempDir()
-	r := &reporter{}
-	man := runBatch(r, []batchSection{
-		{"fine", func(r *reporter) { r.row("- fine") }},
-	}, 0)
+	out, _ := withDirs(t)
+	secs := []batchSection{
+		{"fine", func(_ context.Context, r *reporter) { r.row("- fine") }},
+	}
+	_, man := runDriver(t, secs, io.Discard, &runner.Pool{Jobs: 1})
 	if len(man.Errors) != 0 {
 		t.Fatalf("unexpected errors: %+v", man.Errors)
 	}
-	errPath := filepath.Join(dir, "errors.json")
-	if err := man.WriteFile(errPath); err != nil {
-		t.Fatalf("WriteFile: %v", err)
-	}
-	data, err := os.ReadFile(errPath)
+	data, err := os.ReadFile(filepath.Join(out, "errors.json"))
 	if err != nil {
-		t.Fatalf("ReadFile: %v", err)
+		t.Fatalf("errors.json: %v", err)
 	}
 	if !strings.Contains(string(data), `"errors": []`) {
 		t.Errorf("empty manifest = %q, want explicit empty errors list", data)
@@ -96,32 +305,78 @@ func TestBatchCleanManifest(t *testing.T) {
 }
 
 // TestReporterSaveRecoverable checks save failures surface as panics (so
-// guard.Section can record them) rather than killing the process.
+// the runner can record them) rather than killing the process.
 func TestReporterSaveRecoverable(t *testing.T) {
-	oldOut := *outDir
-	*outDir = filepath.Join(t.TempDir(), "missing", "nested")
-	defer func() { *outDir = oldOut }()
-	r := &reporter{}
-	e := guard.Section("save-fail", 0, func() {
-		r.save("x.csv", func(*os.File) error { return nil })
-	})
-	if e == nil || e.Kind != guard.KindPanic {
-		t.Fatalf("save into missing dir: got %+v, want captured panic", e)
+	withDirs(t)
+	secs := []batchSection{
+		{"save-fail", func(_ context.Context, r *reporter) {
+			r.save("x.csv", func(io.Writer) error { return fmt.Errorf("serialization broke") })
+		}},
+	}
+	results := (&runner.Pool{Jobs: 1}).Run(context.Background(), sectionJobs(secs, nil))
+	e := results[0].Err
+	if e == nil || e.Kind != guard.KindPanic || !strings.Contains(e.Msg, "serialization broke") {
+		t.Fatalf("failed save: got %+v, want captured panic", e)
 	}
 }
 
-// TestSectionsFilter checks -only filtering skips unguarded work entirely.
+// TestSectionsFilter checks -only filtering skips unwanted sections
+// before any job is built.
 func TestSectionsFilter(t *testing.T) {
-	r := &reporter{filter: map[string]bool{"b": true}}
+	withDirs(t)
 	var ran []string
-	man := runBatch(r, []batchSection{
-		{"a", func(*reporter) { ran = append(ran, "a") }},
-		{"b", func(*reporter) { ran = append(ran, "b") }},
-	}, 0)
-	if len(man.Errors) != 0 {
-		t.Fatalf("unexpected errors: %+v", man.Errors)
+	secs := []batchSection{
+		{"a", func(context.Context, *reporter) { ran = append(ran, "a") }},
+		{"b", func(context.Context, *reporter) { ran = append(ran, "b") }},
 	}
+	jobs := sectionJobs(secs, map[string]bool{"b": true})
+	if len(jobs) != 1 || jobs[0].ID != "b" {
+		t.Fatalf("filtered jobs = %+v, want [b]", jobs)
+	}
+	(&runner.Pool{Jobs: 1}).Run(context.Background(), jobs)
 	if len(ran) != 1 || ran[0] != "b" {
 		t.Fatalf("ran %v, want [b]", ran)
+	}
+}
+
+// TestObsFilesRouted checks a section's Obs-flagged files land in the
+// -obs directory while plain files land in -out.
+func TestObsFilesRouted(t *testing.T) {
+	out, obsOut := withDirs(t)
+	secs := []batchSection{
+		{"routed", func(_ context.Context, r *reporter) {
+			r.save("plain.csv", func(w io.Writer) error { _, err := io.WriteString(w, "a,b\n"); return err })
+			r.files = append(r.files, artifactFile{Name: "trace_events.jsonl", Obs: true, Data: []byte("{}\n")})
+		}},
+	}
+	runDriver(t, secs, io.Discard, &runner.Pool{Jobs: 1})
+	if _, err := os.Stat(filepath.Join(out, "plain.csv")); err != nil {
+		t.Errorf("plain file not in -out: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(obsOut, "trace_events.jsonl")); err != nil {
+		t.Errorf("obs file not in -obs: %v", err)
+	}
+}
+
+// TestSectionKeySensitivity pins what invalidates a section's cache
+// entry: the -quick flag does, the output directory does not.
+func TestSectionKeySensitivity(t *testing.T) {
+	withDirs(t)
+	base := sectionKey("F1").Fingerprint(0)
+
+	oldQuick := *quick
+	*quick = !*quick
+	quickFP := sectionKey("F1").Fingerprint(0)
+	*quick = oldQuick
+	if quickFP == base {
+		t.Errorf("-quick does not change the section fingerprint")
+	}
+
+	oldOut := *outDir
+	*outDir = filepath.Join(*outDir, "elsewhere")
+	outFP := sectionKey("F1").Fingerprint(0)
+	*outDir = oldOut
+	if outFP != base {
+		t.Errorf("-out changed the section fingerprint; artifacts are location-independent and must stay cached")
 	}
 }

@@ -5,7 +5,8 @@
 //	starvesim -list
 //	starvesim -scenario bbr-two [-seed 2] [-duration 60s]
 //	starvesim -scenario bbr-two -trace events.jsonl -metrics metrics.txt
-//	starvesim -scenario all
+//	starvesim -scenario all [-jobs 4]
+//	starvesim -scenario bbr-two -sweep 10 [-sweep-jobs 4]
 //
 // Each scenario prints the paper's claimed numbers next to the measured
 // ones. -trace streams the run's packet-lifecycle events (enqueue, drop,
@@ -13,6 +14,13 @@
 // JSONL for offline analysis; -metrics writes the end-of-run counters
 // registry in Prometheus text format. Both observe a single scenario:
 // combine them with one -scenario name (or -cca), not "all".
+//
+// -jobs runs the scenarios of "-scenario all" in parallel; output stays
+// in sorted scenario order regardless of completion order. -sweep N runs
+// one scenario across N consecutive seeds (starting at -seed, default 2)
+// and prints one observables line per seed; -sweep-jobs bounds the sweep
+// workers (0 = GOMAXPROCS). Every run is an independent deterministic
+// simulator, so parallelism never changes any measured number.
 //
 // -guard enables the run-guard layer (stall watchdog, conservation
 // checks); -deadline adds a wall-clock budget per run. -faults injects
@@ -25,14 +33,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 	"time"
 
 	"starvation/internal/guard"
 	"starvation/internal/network"
 	"starvation/internal/obs"
+	"starvation/internal/runner"
 	"starvation/internal/scenario"
 )
 
@@ -48,6 +60,10 @@ func main() {
 
 		guardOn  = flag.Bool("guard", false, "enable the run-guard layer (stall watchdog, conservation checks)")
 		deadline = flag.Duration("deadline", 0, "wall-clock budget per run; exceeding it halts the run (implies -guard)")
+
+		jobsN     = flag.Int("jobs", 0, "scenarios to run in parallel with -scenario all (0 = GOMAXPROCS)")
+		sweepN    = flag.Int("sweep", 0, "run the scenario across this many consecutive seeds, one observables line per seed")
+		sweepJobs = flag.Int("sweep-jobs", 0, "parallel workers for -sweep (0 = GOMAXPROCS)")
 
 		// Freeform mode: -cca selects it; everything else is optional.
 		cca1   = flag.String("cca", "", "freeform mode: CCA for flow 0 (e.g. vegas, bbr)")
@@ -127,19 +143,94 @@ func main() {
 	}
 
 	opts := scenario.Opts{Seed: *seed, Duration: *duration, Probe: sink.probe(), Guard: guardOpts}
-	if *name == "all" {
-		code := 0
-		for _, n := range scenario.Names() {
-			if res := run(n, opts); guardFailed(res) {
-				fmt.Println(res.Guard.String())
-				code = 1
-			}
+	if *sweepN > 0 {
+		if *name == "" || *name == "all" {
+			usagef("starvesim: -sweep needs a single -scenario name")
 		}
-		os.Exit(code)
+		if observing {
+			usagef("starvesim: -trace/-metrics observe one run; they cannot attach to a -sweep")
+		}
+		runSweep(*name, *seed, *sweepN, *sweepJobs, *duration, guardOpts)
+		return
+	}
+	if *name == "all" {
+		runAll(*jobsN, opts)
 	}
 	res := run(*name, opts)
 	sink.finish(res)
 	reportGuard(res)
+}
+
+// runAll executes every registered scenario, -jobs at a time, and prints
+// the reports in sorted scenario order regardless of completion order.
+// It exits the process with 1 when any guarded run failed.
+func runAll(jobs int, opts scenario.Opts) {
+	names := scenario.Names()
+	outputs := make([]string, len(names))
+	failed := make([]bool, len(names))
+	_ = runner.ForEach(context.Background(), jobs, len(names), func(ctx context.Context, i int) error {
+		o := opts
+		o.Ctx = ctx
+		start := time.Now()
+		res := scenario.Registry[names[i]](o)
+		out := fmt.Sprintf("%s(took %v)\n\n", res, time.Since(start).Round(time.Millisecond))
+		if guardFailed(res.Net) {
+			out += res.Net.Guard.String() + "\n"
+			failed[i] = true
+		}
+		outputs[i] = out
+		return nil
+	})
+	code := 0
+	for i, out := range outputs {
+		fmt.Print(out)
+		if failed[i] {
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// runSweep runs one scenario across n consecutive seeds and prints one
+// observables line per seed, in seed order.
+func runSweep(name string, baseSeed int64, n, jobs int, duration time.Duration, guardOpts *guard.Options) {
+	if baseSeed == 0 {
+		baseSeed = 2 // the documented reference realization
+	}
+	seeds := make([]int64, n)
+	for i := range seeds {
+		seeds[i] = baseSeed + int64(i)
+	}
+	results, err := scenario.SeedSweep(context.Background(), name, seeds, jobs,
+		scenario.Opts{Duration: duration, Guard: guardOpts})
+	if err != nil {
+		fatalf("starvesim: %v", err)
+	}
+	fmt.Printf("%s across seeds %d..%d:\n", name, seeds[0], seeds[n-1])
+	code := 0
+	for i, res := range results {
+		fmt.Printf("  seed %d: %s\n", seeds[i], observablesLine(res))
+		if guardFailed(res.Net) {
+			fmt.Print(res.Net.Guard.String())
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// observablesLine renders a result's named quantities on one line, keys
+// sorted so sweep output is diffable.
+func observablesLine(res *scenario.Result) string {
+	keys := make([]string, 0, len(res.Observables))
+	for k := range res.Observables {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%.4g", k, res.Observables[k])
+	}
+	return strings.Join(parts, " ")
 }
 
 func run(name string, opts scenario.Opts) *network.Result {

@@ -12,6 +12,7 @@ package cca
 
 import (
 	"math/rand"
+	"sort"
 	"time"
 
 	"starvation/internal/units"
@@ -113,11 +114,13 @@ func Register(name string, f Factory) {
 // Lookup returns the registered factory, or nil.
 func Lookup(name string) Factory { return registry[name] }
 
-// Names returns all registered algorithm names (unsorted).
+// Names returns all registered algorithm names, sorted so listings and
+// error messages are stable across runs (map iteration order is not).
 func Names() []string {
 	out := make([]string, 0, len(registry))
 	for n := range registry {
 		out = append(out, n)
 	}
+	sort.Strings(out)
 	return out
 }

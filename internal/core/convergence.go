@@ -16,6 +16,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"starvation/internal/cca"
@@ -67,6 +68,14 @@ type MeasureOpts struct {
 	MSS int
 	// Seed for the run (default 1).
 	Seed int64
+	// Ctx, when non-nil, cancels the measurement's emulations at
+	// run-tick granularity (observation-only until cancellation).
+	Ctx context.Context
+	// Jobs bounds the worker count of multi-run measurements
+	// (RateDelaySweep rate points). 0 or 1 runs sequentially; since
+	// every point is an independent simulator, the measured values are
+	// identical at any Jobs value.
+	Jobs int
 }
 
 func (o *MeasureOpts) fill() {
@@ -91,7 +100,7 @@ func MeasureConvergence(f Factory, c units.Rate, rm time.Duration, opts MeasureO
 	opts.fill()
 	alg := f()
 	n := network.New(
-		network.Config{Rate: c, Seed: opts.Seed},
+		network.Config{Rate: c, Seed: opts.Seed, Ctx: opts.Ctx},
 		network.FlowSpec{Name: "probe", Alg: alg, Rm: rm, MSS: opts.MSS},
 	)
 	d := opts.Duration

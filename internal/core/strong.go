@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -42,6 +43,9 @@ type StrongModelSpec struct {
 	BigLinkFactor float64
 	// MaxSteps bounds the iteration (default 12).
 	MaxSteps int
+	// Ctx, when non-nil, cancels the construction's emulations at
+	// run-tick granularity.
+	Ctx context.Context
 }
 
 // StrongModelStep records one trace of the sequence.
@@ -94,7 +98,7 @@ func StrongModelConstruction(spec StrongModelSpec) *StrongModelResult {
 
 	// Step 0: ideal path at rate λ.
 	conv := MeasureConvergence(func() cca.Algorithm { return spec.Make(nil) },
-		spec.Lambda, spec.Rm, MeasureOpts{Duration: spec.Duration, MSS: spec.MSS})
+		spec.Lambda, spec.Rm, MeasureOpts{Duration: spec.Duration, MSS: spec.MSS, Ctx: spec.Ctx})
 	prevTrace := conv.RTT
 	prevThpt := throughputOfTrace(conv)
 	res.Steps = append(res.Steps, StrongModelStep{
@@ -118,7 +122,7 @@ func StrongModelConstruction(spec StrongModelSpec) *StrongModelResult {
 		}
 		shaper := &RTTShaper{Target: target, D: time.Hour /* strong model: unbounded */}
 		n := network.New(
-			network.Config{Rate: big, Seed: 1},
+			network.Config{Rate: big, Seed: 1, Ctx: spec.Ctx},
 			network.FlowSpec{
 				Name: "strong", Alg: spec.Make(nil), Rm: spec.Rm,
 				MSS: spec.MSS, FwdJitter: shaper,

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
 	"time"
 
+	"starvation/internal/runner"
 	"starvation/internal/units"
 )
 
@@ -42,11 +44,24 @@ func LogSpace(lo, hi units.Rate, n int) []units.Rate {
 // RateDelaySweep measures the equilibrium delay interval of the CCA at each
 // link rate, regenerating one panel of Figure 3. Lower rates get longer
 // runs so slow flows still converge.
+//
+// With opts.Jobs > 1 the rate points run in parallel on a bounded worker
+// pool. Every point is an independent simulator with its own seed, so
+// the sweep is identical — point for point — at any Jobs value; points
+// land in the result slice by rate index, never by completion order.
 func RateDelaySweep(name string, f Factory, rm time.Duration, rates []units.Rate, opts MeasureOpts) *Sweep {
 	opts.fill()
-	sw := &Sweep{Name: name, Rm: rm}
-	for _, c := range rates {
+	sw := &Sweep{Name: name, Rm: rm, Points: make([]SweepPoint, len(rates))}
+	workers := opts.Jobs
+	if workers <= 0 {
+		workers = 1 // library default stays sequential; CLIs opt in
+	}
+	// The error is always opts.Ctx's cancellation; the partial sweep is
+	// returned as-is and callers observe the cancellation themselves.
+	_ = runner.ForEach(opts.Ctx, workers, len(rates), func(ctx context.Context, i int) error {
+		c := rates[i]
 		o := opts
+		o.Ctx = ctx
 		// Ensure the run spans enough packets and RTTs at low rates: at
 		// least ~400 packet-times and 200 RTTs.
 		pktTime := c.TxTime(opts.MSS)
@@ -57,14 +72,15 @@ func RateDelaySweep(name string, f Factory, rm time.Duration, rates []units.Rate
 			o.Duration = min
 		}
 		conv := MeasureConvergence(f, c, rm, o)
-		sw.Points = append(sw.Points, SweepPoint{
+		sw.Points[i] = SweepPoint{
 			C:          c,
 			DMin:       conv.DMin,
 			DMax:       conv.DMax,
 			Delta:      conv.Delta,
 			Efficiency: conv.Efficiency(),
-		})
-	}
+		}
+		return ctx.Err()
+	})
 	return sw
 }
 

@@ -19,6 +19,11 @@ const (
 	// KindInvariant: a guard invariant (conservation, stall) was treated
 	// as fatal by the caller.
 	KindInvariant ErrKind = "invariant"
+	// KindCancelled: the run was stopped because its batch was cancelled
+	// (not a failure of the run itself).
+	KindCancelled ErrKind = "cancelled"
+	// KindError: the run body returned an ordinary error (I/O, config).
+	KindError ErrKind = "error"
 )
 
 // RunError is the structured failure of one scenario run: enough context

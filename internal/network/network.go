@@ -6,6 +6,7 @@
 package network
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -94,6 +95,13 @@ type Config struct {
 	Guard *guard.Options
 	// Seed feeds all randomness in the run.
 	Seed int64
+	// Ctx, when non-nil, cancels the run: the event loop checks it at
+	// run-tick granularity and halts promptly once it expires, so a
+	// batch driver's deadline actually stops the simulation instead of
+	// abandoning a goroutine that runs forever. Like Probe and Guard it
+	// is observation-only — a run with a context is event-for-event
+	// identical to one without until cancellation.
+	Ctx context.Context
 	// SampleEvery is the trace sampling interval (default 100 ms).
 	SampleEvery time.Duration
 	// Probe receives the packet-lifecycle event stream from every element
@@ -188,6 +196,9 @@ func newNetwork(cfg Config, specs ...FlowSpec) *Network {
 		cfg.SampleEvery = 100 * time.Millisecond
 	}
 	s := sim.New(cfg.Seed)
+	if cfg.Ctx != nil {
+		s.SetContext(cfg.Ctx)
+	}
 	n := &Network{Sim: s, cfg: cfg}
 	if cfg.Guard != nil {
 		// The monitor taps the probe stream; read-only, so guarded and

@@ -1,0 +1,109 @@
+package runner
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Cache is the content-addressed on-disk result store. Entries are
+// addressed by Key fingerprint: <Dir>/<fp[:2]>/<fp>.json, each a JSON
+// envelope carrying the artifact plus enough integrity metadata that a
+// corrupted or mismatched entry reads as a miss, never as bad data.
+type Cache struct {
+	// Dir is the cache root; it is created on first Put.
+	Dir string
+	// Schema overrides the cache-schema version (0 selects SchemaVersion).
+	// Entries written under one schema are unreachable under another: the
+	// version participates in the fingerprint and is checked again inside
+	// the envelope.
+	Schema int
+}
+
+// entry is the on-disk envelope of one cached artifact.
+type entry struct {
+	// Schema is the cache-schema version the entry was written under.
+	Schema int `json:"schema"`
+	// Key is the diagnostic rendering of the job key (not hashed).
+	Key string `json:"key"`
+	// Sum is the hex SHA-256 of Artifact, verified on every read.
+	Sum string `json:"sum"`
+	// Artifact is the serialized job result.
+	Artifact []byte `json:"artifact"`
+}
+
+func (c *Cache) schema() int {
+	if c.Schema != 0 {
+		return c.Schema
+	}
+	return SchemaVersion
+}
+
+// Fingerprint returns the content address of key under this cache's
+// schema version.
+func (c *Cache) Fingerprint(key Key) string { return key.Fingerprint(c.schema()) }
+
+func (c *Cache) path(fp string) string {
+	return filepath.Join(c.Dir, fp[:2], fp+".json")
+}
+
+// Get returns the cached artifact for the fingerprint. Any defect — a
+// missing file, invalid JSON, a schema mismatch, or an artifact whose
+// checksum does not match — is a miss: the caller re-runs the job and
+// overwrites the entry.
+func (c *Cache) Get(fp string) ([]byte, bool) {
+	data, err := os.ReadFile(c.path(fp))
+	if err != nil {
+		return nil, false
+	}
+	var e entry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, false
+	}
+	if e.Schema != c.schema() {
+		return nil, false
+	}
+	sum := sha256.Sum256(e.Artifact)
+	if hex.EncodeToString(sum[:]) != e.Sum {
+		return nil, false
+	}
+	return e.Artifact, true
+}
+
+// Put stores the artifact under the fingerprint, writing to a temp file
+// and renaming so a crash mid-write leaves no half-entry (a torn entry
+// would read as a miss anyway, via the checksum).
+func (c *Cache) Put(fp string, key Key, artifact []byte) error {
+	sum := sha256.Sum256(artifact)
+	e := entry{
+		Schema:   c.schema(),
+		Key:      key.String(),
+		Sum:      hex.EncodeToString(sum[:]),
+		Artifact: artifact,
+	}
+	data, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("runner: encoding cache entry: %w", err)
+	}
+	path := c.path(fp)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+fp+".tmp")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

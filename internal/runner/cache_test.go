@@ -1,0 +1,126 @@
+package runner
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestCacheHitMiss covers the basic contract: a miss before Put, a
+// byte-exact hit after, and independence of distinct keys.
+func TestCacheHitMiss(t *testing.T) {
+	c := &Cache{Dir: t.TempDir()}
+	k1 := referenceKey()
+	k2 := referenceKey()
+	k2.Seed = 3
+	fp1, fp2 := c.Fingerprint(k1), c.Fingerprint(k2)
+
+	if _, ok := c.Get(fp1); ok {
+		t.Fatalf("hit on empty cache")
+	}
+	art := []byte(`{"rows":[1,2,3]}`)
+	if err := c.Put(fp1, k1, art); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, ok := c.Get(fp1)
+	if !ok || !bytes.Equal(got, art) {
+		t.Fatalf("Get after Put = %q, %v; want %q, true", got, ok, art)
+	}
+	if _, ok := c.Get(fp2); ok {
+		t.Fatalf("different seed hit the same entry")
+	}
+}
+
+// TestCacheSchemaBump walks an entry across a cache-schema version bump:
+// written under schema 1 it must miss under schema 2 (the address
+// changes AND the envelope check rejects), and re-populating under 2
+// must not resurrect the schema-1 artifact.
+func TestCacheSchemaBump(t *testing.T) {
+	dir := t.TempDir()
+	v1 := &Cache{Dir: dir, Schema: 1}
+	v2 := &Cache{Dir: dir, Schema: 2}
+	k := referenceKey()
+
+	oldArt := []byte("schema-1 artifact")
+	if err := v1.Put(v1.Fingerprint(k), k, oldArt); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if _, ok := v2.Get(v2.Fingerprint(k)); ok {
+		t.Fatalf("schema-2 cache hit a schema-1 entry")
+	}
+	// Defense in depth: even reading the schema-1 address through the
+	// schema-2 cache must miss on the envelope's embedded version.
+	if _, ok := v2.Get(v1.Fingerprint(k)); ok {
+		t.Fatalf("schema-2 cache accepted a schema-1 envelope")
+	}
+
+	newArt := []byte("schema-2 artifact")
+	if err := v2.Put(v2.Fingerprint(k), k, newArt); err != nil {
+		t.Fatalf("Put under schema 2: %v", err)
+	}
+	if got, ok := v2.Get(v2.Fingerprint(k)); !ok || !bytes.Equal(got, newArt) {
+		t.Fatalf("schema-2 Get = %q, %v; want %q, true", got, ok, newArt)
+	}
+	if got, ok := v1.Get(v1.Fingerprint(k)); !ok || !bytes.Equal(got, oldArt) {
+		t.Fatalf("schema-1 entry damaged by the bump: %q, %v", got, ok)
+	}
+}
+
+// TestCacheCorruption mangles stored entries several ways and checks
+// every defect reads as a miss — the cache must fall back to re-running,
+// never return bad data.
+func TestCacheCorruption(t *testing.T) {
+	k := referenceKey()
+	art := []byte("pristine artifact bytes")
+	corruptions := []struct {
+		name   string
+		mangle func(path string) error
+	}{
+		{"truncated", func(p string) error {
+			data, err := os.ReadFile(p)
+			if err != nil {
+				return err
+			}
+			return os.WriteFile(p, data[:len(data)/2], 0o644)
+		}},
+		{"bitflip-in-artifact", func(p string) error {
+			data, err := os.ReadFile(p)
+			if err != nil {
+				return err
+			}
+			// Flip a byte inside the base64 artifact payload.
+			i := bytes.Index(data, []byte(`"artifact":"`)) + len(`"artifact":"`) + 3
+			data[i] ^= 0x01
+			return os.WriteFile(p, data, 0o644)
+		}},
+		{"not-json", func(p string) error {
+			return os.WriteFile(p, []byte("<html>quota exceeded</html>"), 0o644)
+		}},
+		{"empty", func(p string) error {
+			return os.WriteFile(p, nil, 0o644)
+		}},
+	}
+	for _, tc := range corruptions {
+		t.Run(tc.name, func(t *testing.T) {
+			c := &Cache{Dir: t.TempDir()}
+			fp := c.Fingerprint(k)
+			if err := c.Put(fp, k, art); err != nil {
+				t.Fatalf("Put: %v", err)
+			}
+			if err := tc.mangle(filepath.Join(c.Dir, fp[:2], fp+".json")); err != nil {
+				t.Fatalf("mangle: %v", err)
+			}
+			if got, ok := c.Get(fp); ok {
+				t.Fatalf("corrupted entry returned data: %q", got)
+			}
+			// Re-running overwrites the corpse and the cache heals.
+			if err := c.Put(fp, k, art); err != nil {
+				t.Fatalf("re-Put over corrupted entry: %v", err)
+			}
+			if got, ok := c.Get(fp); !ok || !bytes.Equal(got, art) {
+				t.Fatalf("cache did not heal: %q, %v", got, ok)
+			}
+		})
+	}
+}

@@ -1,0 +1,126 @@
+package runner
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"starvation/internal/guard"
+)
+
+// JobStatus is the terminal state of a job in a batch manifest.
+type JobStatus string
+
+const (
+	// StatusDone: the job produced an artifact (freshly or from cache).
+	StatusDone JobStatus = "done"
+	// StatusFailed: the job panicked, errored, or blew its deadline.
+	StatusFailed JobStatus = "failed"
+)
+
+// ManifestEntry records the outcome of one job.
+type ManifestEntry struct {
+	// Fingerprint is the job's content address at completion time; a
+	// later batch re-runs the job when its fingerprint differs (the
+	// configuration changed) even though the ID matches.
+	Fingerprint string    `json:"fingerprint"`
+	Status      JobStatus `json:"status"`
+	// Err carries the structured failure when Status is "failed".
+	Err *guard.RunError `json:"err,omitempty"`
+}
+
+// manifestFile is the serialized form of a Manifest.
+type manifestFile struct {
+	Schema int                      `json:"schema"`
+	Jobs   map[string]ManifestEntry `json:"jobs"`
+}
+
+// Manifest is the resumable-batch record: one entry per completed job,
+// flushed to disk after every completion so an interrupted batch can be
+// resumed. A re-run treats "done with matching fingerprint" as
+// restorable (the artifact comes from the cache) and executes only
+// missing, failed, or changed jobs.
+type Manifest struct {
+	// Path is the manifest file; empty disables persistence (the
+	// manifest still tracks state in memory).
+	Path string
+
+	mu   sync.Mutex
+	jobs map[string]ManifestEntry
+}
+
+// LoadManifest reads the manifest at path, returning an empty manifest
+// when the file does not exist or does not parse (a torn write during an
+// interrupt must never block resumption — affected jobs just re-run).
+func LoadManifest(path string) *Manifest {
+	m := &Manifest{Path: path, jobs: map[string]ManifestEntry{}}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return m
+	}
+	var f manifestFile
+	if err := json.Unmarshal(data, &f); err != nil || f.Schema != SchemaVersion {
+		return m
+	}
+	if f.Jobs != nil {
+		m.jobs = f.Jobs
+	}
+	return m
+}
+
+// Done reports whether the manifest records the job as completed under
+// the same fingerprint — the resume predicate.
+func (m *Manifest) Done(id, fp string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.jobs[id]
+	return ok && e.Status == StatusDone && e.Fingerprint == fp
+}
+
+// Entry returns the recorded outcome of a job.
+func (m *Manifest) Entry(id string) (ManifestEntry, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.jobs[id]
+	return e, ok
+}
+
+// Len returns the number of recorded jobs.
+func (m *Manifest) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.jobs)
+}
+
+// Record stores a job outcome and flushes the manifest to disk. Flush
+// failures are returned but the in-memory record is kept either way: a
+// read-only filesystem degrades resume, not the batch itself.
+func (m *Manifest) Record(id, fp string, status JobStatus, rerr *guard.RunError) error {
+	m.mu.Lock()
+	if m.jobs == nil {
+		m.jobs = map[string]ManifestEntry{}
+	}
+	m.jobs[id] = ManifestEntry{Fingerprint: fp, Status: status, Err: rerr}
+	data, err := json.MarshalIndent(manifestFile{Schema: SchemaVersion, Jobs: m.jobs}, "", "  ")
+	m.mu.Unlock()
+	if err != nil || m.Path == "" {
+		return err
+	}
+	// Write-then-rename so an interrupt mid-flush leaves the previous
+	// (still valid) manifest in place.
+	tmp, err := os.CreateTemp(filepath.Dir(m.Path), ".manifest.tmp")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), m.Path)
+}

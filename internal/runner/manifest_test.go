@@ -1,0 +1,136 @@
+package runner
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"starvation/internal/guard"
+)
+
+// TestManifestRoundTrip checks Record→Load preserves outcomes, including
+// the structured error of a failed job.
+func TestManifestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "manifest.json")
+	m := LoadManifest(path)
+	if m.Len() != 0 {
+		t.Fatalf("fresh manifest has %d entries", m.Len())
+	}
+	if err := m.Record("F1", "aaaa", StatusDone, nil); err != nil {
+		t.Fatalf("Record: %v", err)
+	}
+	rerr := &guard.RunError{Scenario: "F3", Kind: guard.KindDeadline, Msg: "too slow"}
+	if err := m.Record("F3", "bbbb", StatusFailed, rerr); err != nil {
+		t.Fatalf("Record: %v", err)
+	}
+
+	re := LoadManifest(path)
+	if !re.Done("F1", "aaaa") {
+		t.Errorf("F1 not resumable after reload")
+	}
+	if re.Done("F1", "cccc") {
+		t.Errorf("F1 resumable under a different fingerprint: config changes must re-run")
+	}
+	if re.Done("F3", "bbbb") {
+		t.Errorf("failed job reported resumable")
+	}
+	e, ok := re.Entry("F3")
+	if !ok || e.Err == nil || e.Err.Kind != guard.KindDeadline {
+		t.Errorf("F3 entry = %+v, %v; want preserved deadline error", e, ok)
+	}
+}
+
+// TestManifestTornFile checks an interrupted flush (half-written JSON)
+// degrades to an empty manifest rather than blocking resumption.
+func TestManifestTornFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "manifest.json")
+	if err := os.WriteFile(path, []byte(`{"schema":1,"jobs":{"F1":{"fing`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m := LoadManifest(path)
+	if m.Len() != 0 {
+		t.Errorf("torn manifest yielded %d entries, want 0", m.Len())
+	}
+}
+
+// TestPoolResume is the end-to-end resumable-batch test: a batch is
+// interrupted partway (simulated by cancelling after two completions),
+// and the re-run executes only the jobs the manifest+cache do not cover.
+func TestPoolResume(t *testing.T) {
+	dir := t.TempDir()
+	cache := &Cache{Dir: filepath.Join(dir, "cache")}
+	maniPath := filepath.Join(dir, "manifest.json")
+
+	var bodyRuns atomic.Int64
+	mkJobs := func() []Job {
+		jobs := make([]Job, 6)
+		for i := range jobs {
+			i := i
+			jobs[i] = Job{
+				ID:  fmt.Sprintf("sec%d", i),
+				Key: Key{Kind: "resume-test", Scenario: fmt.Sprintf("sec%d", i)},
+				Run: func(ctx context.Context) ([]byte, error) {
+					if err := ctx.Err(); err != nil {
+						return nil, err
+					}
+					bodyRuns.Add(1)
+					return []byte(fmt.Sprintf("artifact-%d", i)), nil
+				},
+			}
+		}
+		return jobs
+	}
+
+	// First batch: cancel after the second completion — an interrupt.
+	ctx, cancel := context.WithCancel(context.Background())
+	var completions atomic.Int64
+	p1 := &Pool{
+		Jobs:     1,
+		Cache:    cache,
+		Manifest: LoadManifest(maniPath),
+		Progress: func(ev ProgressEvent) {
+			if ev.Kind == ProgressDone && completions.Add(1) == 2 {
+				cancel()
+			}
+		},
+	}
+	p1.Run(ctx, mkJobs())
+	interrupted := bodyRuns.Load()
+	if interrupted >= 6 {
+		t.Fatalf("interrupt did not interrupt: %d bodies ran", interrupted)
+	}
+
+	// Resumed batch: only the incomplete jobs may execute.
+	p2 := &Pool{Jobs: 1, Cache: cache, Manifest: LoadManifest(maniPath)}
+	results := p2.Run(context.Background(), mkJobs())
+	for i, r := range results {
+		if r.Err != nil {
+			t.Errorf("resumed job %d failed: %v", i, r.Err)
+		}
+		if want := fmt.Sprintf("artifact-%d", i); string(r.Artifact) != want {
+			t.Errorf("resumed job %d artifact %q, want %q", i, r.Artifact, want)
+		}
+	}
+	total := bodyRuns.Load()
+	if executed := total - interrupted; executed != 6-interrupted {
+		t.Errorf("resume executed %d bodies, want exactly the %d incomplete ones",
+			executed, 6-interrupted)
+	}
+	st := p2.Stats()
+	if st.CacheHits != interrupted || st.Executed != 6-interrupted {
+		t.Errorf("resume stats = %+v, want %d hits %d executed", st, interrupted, 6-interrupted)
+	}
+
+	// Third run: a fully warm batch restores everything.
+	p3 := &Pool{Jobs: 4, Cache: cache, Manifest: LoadManifest(maniPath)}
+	p3.Run(context.Background(), mkJobs())
+	if bodyRuns.Load() != total {
+		t.Errorf("warm batch re-simulated jobs")
+	}
+	if st := p3.Stats(); st.CacheHits != 6 {
+		t.Errorf("warm stats = %+v, want 6 cache hits", st)
+	}
+}

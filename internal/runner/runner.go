@@ -1,0 +1,419 @@
+// Package runner is the experiment orchestration engine: it executes sets
+// of independent, deterministic emulation jobs on a bounded worker pool
+// with context cancellation, per-job wall-clock deadlines, a
+// content-addressed result cache, and a resumable batch manifest.
+//
+// A Job is a stable ID, a canonical configuration Key (whose SHA-256
+// fingerprint is the cache address), and a body taking a context.Context.
+// Because every emulation is a pure function of its configuration — runs
+// are deterministic and the probe/guard layers are observation-only — a
+// batch executed in parallel produces byte-identical artifacts to the
+// same batch executed sequentially, and a cached artifact is
+// indistinguishable from a re-run. Those two invariants are what make
+// this subsystem safe; the parity and cache tests assert them.
+//
+// Jobs must honor their context: simulation-backed bodies thread it into
+// network.Config (the event loop checks cancellation at run-tick
+// granularity), so a blown deadline actually stops the work instead of
+// leaking a goroutine that simulates forever.
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"starvation/internal/guard"
+)
+
+// Job is one unit of a batch.
+type Job struct {
+	// ID is the stable, batch-unique identifier (manifest key).
+	ID string
+	// Key is the canonical configuration fingerprinted for the cache;
+	// the zero Key marks the job uncacheable.
+	Key Key
+	// Run produces the job's serialized artifact. It must return
+	// promptly (with ctx.Err()) once ctx is cancelled.
+	Run func(ctx context.Context) ([]byte, error)
+}
+
+// JobResult is the outcome of one job in a batch.
+type JobResult struct {
+	ID string
+	// Artifact is the job's output (nil on failure).
+	Artifact []byte
+	// Cached reports the artifact was restored from the cache without
+	// re-simulating.
+	Cached bool
+	// Elapsed is the wall-clock execution time (0 for cache hits).
+	Elapsed time.Duration
+	// Err is the structured failure, nil on success.
+	Err *guard.RunError
+}
+
+// ProgressKind classifies a progress event.
+type ProgressKind uint8
+
+const (
+	// ProgressStart: a worker began executing the job.
+	ProgressStart ProgressKind = iota
+	// ProgressDone: the job produced its artifact.
+	ProgressDone
+	// ProgressCached: the job was restored from the cache.
+	ProgressCached
+	// ProgressFailed: the job failed (panic, error, deadline, cancel).
+	ProgressFailed
+)
+
+func (k ProgressKind) String() string {
+	switch k {
+	case ProgressStart:
+		return "start"
+	case ProgressDone:
+		return "done"
+	case ProgressCached:
+		return "cached"
+	case ProgressFailed:
+		return "failed"
+	}
+	return fmt.Sprintf("progress(%d)", uint8(k))
+}
+
+// ProgressEvent is one observable state transition of a batch. Events
+// are delivered from worker goroutines, serialized by an internal lock,
+// so a Progress callback needs no synchronization of its own.
+type ProgressEvent struct {
+	Job  string
+	Kind ProgressKind
+	// Done and Total count completed (done+cached+failed) jobs and the
+	// batch size, for "3/12"-style reporting.
+	Done, Total int
+	// Elapsed is the job's execution time (ProgressDone/ProgressFailed).
+	Elapsed time.Duration
+	// Err accompanies ProgressFailed.
+	Err *guard.RunError
+}
+
+// Stats are the batch counters, exported in the obs counter-registry
+// idiom (see WritePrometheus).
+type Stats struct {
+	// Executed counts jobs that actually simulated.
+	Executed int64 `json:"executed"`
+	// CacheHits counts jobs restored from the content-addressed cache.
+	CacheHits int64 `json:"cache_hits"`
+	// Failed counts jobs that ended in a RunError.
+	Failed int64 `json:"failed"`
+}
+
+// DefaultGrace is the post-cancellation wait for a job to acknowledge
+// its context before the pool abandons its goroutine.
+const DefaultGrace = 250 * time.Millisecond
+
+// Pool executes job sets on bounded workers.
+type Pool struct {
+	// Jobs is the worker count; 0 selects GOMAXPROCS.
+	Jobs int
+	// JobDeadline is the per-job wall-clock budget; 0 disables it.
+	JobDeadline time.Duration
+	// Grace is how long a cancelled job may take to return before its
+	// goroutine is abandoned (0 selects DefaultGrace). A job that honors
+	// its context returns well inside any reasonable grace; the window
+	// only matters for bodies stuck outside the simulator.
+	Grace time.Duration
+	// Cache, when non-nil, serves and stores artifacts by fingerprint.
+	Cache *Cache
+	// Manifest, when non-nil, records every outcome for resumption.
+	Manifest *Manifest
+	// Progress, when non-nil, observes batch state transitions.
+	Progress func(ProgressEvent)
+
+	executed  atomic.Int64
+	cacheHits atomic.Int64
+	failed    atomic.Int64
+
+	progressMu sync.Mutex
+	completed  int
+	total      int
+}
+
+// Stats returns the pool's batch counters.
+func (p *Pool) Stats() Stats {
+	return Stats{
+		Executed:  p.executed.Load(),
+		CacheHits: p.cacheHits.Load(),
+		Failed:    p.failed.Load(),
+	}
+}
+
+// WritePrometheus renders the batch counters in the Prometheus text
+// exposition format, mirroring internal/obs's exporter so batch progress
+// is visible through the same tooling as packet counters.
+func (p *Pool) WritePrometheus(w io.Writer) error {
+	st := p.Stats()
+	rows := []struct {
+		name, help string
+		value      int64
+	}{
+		{"starvesim_runner_jobs_executed_total", "Batch jobs that simulated.", st.Executed},
+		{"starvesim_runner_cache_hits_total", "Batch jobs restored from the result cache.", st.CacheHits},
+		{"starvesim_runner_jobs_failed_total", "Batch jobs that ended in a RunError.", st.Failed},
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
+			r.name, r.help, r.name, r.name, r.value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *Pool) workers() int {
+	if p.Jobs > 0 {
+		return p.Jobs
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (p *Pool) grace() time.Duration {
+	if p.Grace > 0 {
+		return p.Grace
+	}
+	return DefaultGrace
+}
+
+func (p *Pool) emit(ev ProgressEvent) {
+	p.progressMu.Lock()
+	if ev.Kind != ProgressStart {
+		p.completed++
+	}
+	ev.Done, ev.Total = p.completed, p.total
+	fn := p.Progress
+	if fn != nil {
+		// Deliver under the lock so callbacks arrive serialized and
+		// Done/Total never run backwards.
+		fn(ev)
+	}
+	p.progressMu.Unlock()
+}
+
+// Run executes the batch and returns one JobResult per job, in input
+// order regardless of completion order — the property batch drivers rely
+// on for byte-identical parallel output. Duplicate job IDs are a
+// programming error and panic. Cancelling ctx stops the batch: running
+// jobs are cancelled and unstarted jobs report a cancellation RunError.
+func (p *Pool) Run(ctx context.Context, jobs []Job) []JobResult {
+	seen := make(map[string]bool, len(jobs))
+	for _, j := range jobs {
+		if seen[j.ID] {
+			panic(fmt.Sprintf("runner: duplicate job ID %q", j.ID))
+		}
+		seen[j.ID] = true
+	}
+	p.progressMu.Lock()
+	p.completed, p.total = 0, len(jobs)
+	p.progressMu.Unlock()
+
+	results := make([]JobResult, len(jobs))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < p.workers(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = p.runOne(ctx, jobs[i])
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results
+}
+
+// runOne executes (or restores) a single job.
+func (p *Pool) runOne(ctx context.Context, job Job) JobResult {
+	var fp string
+	if !job.Key.IsZero() && p.Cache != nil {
+		fp = p.Cache.Fingerprint(job.Key)
+		if art, ok := p.Cache.Get(fp); ok {
+			p.cacheHits.Add(1)
+			p.record(job.ID, fp, StatusDone, nil)
+			p.emit(ProgressEvent{Job: job.ID, Kind: ProgressCached})
+			return JobResult{ID: job.ID, Artifact: art, Cached: true}
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		// The batch was cancelled before this job started; report
+		// without touching the manifest (the job never ran).
+		rerr := &guard.RunError{Scenario: job.ID, Kind: guard.KindCancelled, Msg: "batch cancelled before job started"}
+		p.failed.Add(1)
+		p.emit(ProgressEvent{Job: job.ID, Kind: ProgressFailed, Err: rerr})
+		return JobResult{ID: job.ID, Err: rerr}
+	}
+
+	p.emit(ProgressEvent{Job: job.ID, Kind: ProgressStart})
+	jctx := ctx
+	cancel := context.CancelFunc(func() {})
+	if p.JobDeadline > 0 {
+		jctx, cancel = context.WithTimeout(ctx, p.JobDeadline)
+	}
+	defer cancel()
+
+	type outcome struct {
+		art  []byte
+		err  error
+		rerr *guard.RunError
+	}
+	done := make(chan outcome, 1)
+	start := time.Now()
+	go func() {
+		var o outcome
+		o.rerr = guard.Capture(job.ID, job.Key.Seed, nil, func() {
+			o.art, o.err = job.Run(jctx)
+		})
+		done <- o
+	}()
+
+	var o outcome
+	select {
+	case o = <-done:
+	case <-jctx.Done():
+		// Give the body its grace to notice the cancellation; a
+		// simulation-backed job returns within a few event ticks.
+		t := time.NewTimer(p.grace())
+		select {
+		case o = <-done:
+			t.Stop()
+		case <-t.C:
+			rerr := &guard.RunError{
+				Scenario: job.ID,
+				Seed:     job.Key.Seed,
+				Kind:     p.cancelKind(ctx, jctx),
+				Msg: fmt.Sprintf("cancelled after %v and did not stop within %v; goroutine abandoned",
+					time.Since(start).Round(time.Millisecond), p.grace()),
+			}
+			return p.fail(job.ID, fp, rerr, time.Since(start))
+		}
+	}
+	elapsed := time.Since(start)
+
+	if rerr := p.classify(job, jctx, ctx, o.rerr, o.err); rerr != nil {
+		return p.fail(job.ID, fp, rerr, elapsed)
+	}
+	p.executed.Add(1)
+	if fp != "" {
+		// Best-effort: a full or read-only cache dir degrades warm
+		// re-runs (the job re-simulates next time), not this batch.
+		_ = p.Cache.Put(fp, job.Key, o.art)
+	}
+	p.record(job.ID, fp, StatusDone, nil)
+	p.emit(ProgressEvent{Job: job.ID, Kind: ProgressDone, Elapsed: elapsed})
+	return JobResult{ID: job.ID, Artifact: o.art, Elapsed: elapsed}
+}
+
+// classify converts a job outcome into a structured RunError (nil on
+// success), attributing context expiry to the right cause.
+func (p *Pool) classify(job Job, jctx, ctx context.Context, rerr *guard.RunError, err error) *guard.RunError {
+	if rerr != nil {
+		return rerr // panic, already structured by guard.Capture
+	}
+	if err == nil {
+		return nil
+	}
+	kind := guard.KindError
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) ||
+		jctx.Err() != nil {
+		kind = p.cancelKind(ctx, jctx)
+	}
+	return &guard.RunError{Scenario: job.ID, Seed: job.Key.Seed, Kind: kind, Msg: err.Error()}
+}
+
+// cancelKind distinguishes a per-job deadline from a batch cancellation.
+func (p *Pool) cancelKind(ctx, jctx context.Context) guard.ErrKind {
+	if ctx.Err() != nil {
+		return guard.KindCancelled
+	}
+	if errors.Is(jctx.Err(), context.DeadlineExceeded) {
+		return guard.KindDeadline
+	}
+	return guard.KindCancelled
+}
+
+func (p *Pool) fail(id, fp string, rerr *guard.RunError, elapsed time.Duration) JobResult {
+	p.failed.Add(1)
+	p.record(id, fp, StatusFailed, rerr)
+	p.emit(ProgressEvent{Job: id, Kind: ProgressFailed, Elapsed: elapsed, Err: rerr})
+	return JobResult{ID: id, Elapsed: elapsed, Err: rerr}
+}
+
+func (p *Pool) record(id, fp string, status JobStatus, rerr *guard.RunError) {
+	if p.Manifest != nil {
+		// Flush errors are non-fatal by design; see Manifest.Record.
+		_ = p.Manifest.Record(id, fp, status, rerr)
+	}
+}
+
+// ForEach runs fn(ctx, i) for i in [0, n) on a bounded worker pool and
+// returns the first error by index (not by completion time, so the
+// result is deterministic). It is the lightweight in-memory sibling of
+// Pool.Run for parallel loops inside a measurement — sweep points, seed
+// sweeps — where results land in caller-owned slices indexed by i.
+// workers ≤ 1 runs inline, preserving strict sequential semantics.
+func ForEach(ctx context.Context, workers, n int, fn func(ctx context.Context, i int) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(ctx, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+				errs[i] = fn(ctx, i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

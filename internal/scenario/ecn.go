@@ -37,6 +37,7 @@ func ECNAvoidsStarvation(o Opts) *Result {
 				Seed:  o.Seed,
 				Probe: o.Probe,
 				Guard: o.Guard,
+				Ctx:   o.Ctx,
 			},
 			network.FlowSpec{
 				Name: "lossy", Alg: mk(), Rm: 40 * time.Millisecond,

@@ -27,6 +27,7 @@ func fig7(o Opts, id, name string, mk func() cca.Algorithm, claim string) *Resul
 			Seed:        o.Seed,
 			Probe:       o.Probe,
 			Guard:       o.Guard,
+			Ctx:         o.Ctx,
 		},
 		network.FlowSpec{
 			Name: "delacked",

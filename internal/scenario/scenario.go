@@ -8,6 +8,7 @@
 package scenario
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -78,6 +79,10 @@ type Opts struct {
 	// network the scenario assembles. Like Probe it is read-only: flow
 	// results are bit-identical with guards on or off.
 	Guard *guard.Options
+	// Ctx, when non-nil, cancels the scenario's emulations at run-tick
+	// granularity (wired into network.Config.Ctx). Observation-only:
+	// identical realization until cancellation.
+	Ctx context.Context
 }
 
 func (o *Opts) fill(defaultDur time.Duration) {

@@ -1,0 +1,71 @@
+package scenario
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"starvation/internal/obs"
+)
+
+// TestSeedSweepParallelParity checks the sweep contract: the same seeds
+// produce the same observables at any jobs value, and results land
+// indexed by seed, not by completion order.
+func TestSeedSweepParallelParity(t *testing.T) {
+	seeds := []int64{2, 3, 4, 5}
+	opts := Opts{Duration: 5 * time.Second}
+	seq, err := SeedSweep(context.Background(), "allegro-loss", seeds, 1, opts)
+	if err != nil {
+		t.Fatalf("sequential sweep: %v", err)
+	}
+	par, err := SeedSweep(context.Background(), "allegro-loss", seeds, 4, opts)
+	if err != nil {
+		t.Fatalf("parallel sweep: %v", err)
+	}
+	for i := range seeds {
+		a, b := seq[i].Observables, par[i].Observables
+		if len(a) != len(b) {
+			t.Fatalf("seed %d: observable sets differ: %v vs %v", seeds[i], a, b)
+		}
+		for k, v := range a {
+			if b[k] != v {
+				t.Errorf("seed %d: %s = %v sequential but %v parallel", seeds[i], k, v, b[k])
+			}
+		}
+	}
+	// Distinct seeds are distinct realizations; identical observables
+	// across the whole sweep would mean the seed never reached the run.
+	same := true
+	for i := 1; i < len(seq); i++ {
+		for k, v := range seq[0].Observables {
+			if seq[i].Observables[k] != v {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Errorf("all %d seeds produced identical observables; seed is not being applied", len(seeds))
+	}
+}
+
+// TestSeedSweepErrors pins the failure modes: unknown scenarios and
+// probe sharing under parallelism are refused up front.
+func TestSeedSweepErrors(t *testing.T) {
+	if _, err := SeedSweep(context.Background(), "no-such-scenario", []int64{2}, 1, Opts{}); err == nil {
+		t.Errorf("unknown scenario did not error")
+	}
+	if _, err := SeedSweep(context.Background(), "copa-single", []int64{2, 3}, 2, Opts{Probe: obs.Nop{}}); err == nil {
+		t.Errorf("shared probe with jobs > 1 did not error")
+	}
+}
+
+// TestSeedSweepCancellation checks a cancelled context surfaces as the
+// sweep error instead of running every seed to completion.
+func TestSeedSweepCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := SeedSweep(ctx, "copa-single", []int64{2, 3, 4}, 1, Opts{Duration: 5 * time.Second})
+	if err == nil {
+		t.Errorf("pre-cancelled sweep returned no error")
+	}
+}

@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestRunContextCancel checks a cancelled context halts the loop at
+// run-tick granularity: a self-rescheduling event chain that would fire
+// forever stops within one check interval of the cancellation.
+func TestRunContextCancel(t *testing.T) {
+	s := New(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	s.SetContext(ctx)
+
+	fired := 0
+	var tick func()
+	tick = func() {
+		fired++
+		if fired == 100 {
+			cancel()
+		}
+		s.After(time.Microsecond, tick)
+	}
+	s.After(0, tick)
+	s.Run(time.Hour) // would be ~3.6e9 events without the cancellation
+	if fired > 100+ctxCheckEvery {
+		t.Errorf("loop fired %d events after cancellation, want ≤ %d", fired-100, ctxCheckEvery)
+	}
+	if !s.Interrupted() {
+		t.Errorf("Interrupted() = false after cancelled run")
+	}
+}
+
+// TestRunContextPreCancelled checks a run whose context is already dead
+// fires nothing.
+func TestRunContextPreCancelled(t *testing.T) {
+	s := New(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s.SetContext(ctx)
+	ran := false
+	s.After(0, func() { ran = true })
+	s.Run(time.Second)
+	if ran {
+		t.Errorf("event fired under a pre-cancelled context")
+	}
+}
+
+// TestRunContextDeterminism checks the cancellation hook is
+// observation-only: with a live (never-cancelled) context installed, a
+// run fires exactly the same events as without one.
+func TestRunContextDeterminism(t *testing.T) {
+	run := func(ctx context.Context) (fired uint64, rand int64) {
+		s := New(42)
+		if ctx != nil {
+			s.SetContext(ctx)
+		}
+		var chain func()
+		n := 0
+		chain = func() {
+			n++
+			if n < 5000 {
+				s.After(time.Duration(s.Rand().Intn(50))*time.Microsecond, chain)
+			}
+		}
+		s.After(0, chain)
+		s.Run(time.Second)
+		return s.Events(), s.Rand().Int63()
+	}
+	f0, r0 := run(nil)
+	f1, r1 := run(context.Background())
+	if f0 != f1 || r0 != r1 {
+		t.Errorf("installing a context perturbed the run: events %d vs %d, rng %d vs %d",
+			f0, f1, r0, r1)
+	}
+}

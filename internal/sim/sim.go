@@ -8,6 +8,7 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -90,6 +91,8 @@ type Simulator struct {
 
 	wdEvery uint64
 	wdFn    func() bool
+
+	ctx context.Context
 }
 
 // New returns a simulator whose RNG is seeded with seed. All stochastic
@@ -145,6 +148,23 @@ func (s *Simulator) After(d time.Duration, fn func()) Handle {
 // Halt stops the run loop after the current event returns.
 func (s *Simulator) Halt() { s.halted = true }
 
+// ctxCheckEvery is the event-count cadence of the cancellation check:
+// frequent enough that a cancelled run stops within microseconds of real
+// time, rare enough that the atomic ctx.Err() load never shows up in
+// profiles.
+const ctxCheckEvery = 1024
+
+// SetContext installs ctx as the run's cancellation signal: Run halts
+// within ctxCheckEvery fired events of ctx being cancelled. The check
+// only reads ctx.Err() — it schedules nothing and draws no randomness —
+// so a run with a context is event-for-event identical to one without
+// until the moment of cancellation. A nil ctx removes the check.
+func (s *Simulator) SetContext(ctx context.Context) { s.ctx = ctx }
+
+// Interrupted reports whether the installed context has been cancelled
+// (the run, if halted, was cut short rather than completed).
+func (s *Simulator) Interrupted() bool { return s.ctx != nil && s.ctx.Err() != nil }
+
 // Watchdog installs fn to be consulted every everyN fired events during
 // Run; returning false halts the run. The cadence is event count rather
 // than virtual time so a livelocked run (events firing without the clock
@@ -164,6 +184,9 @@ func (s *Simulator) Watchdog(everyN uint64, fn func() bool) {
 // the horizon (when the horizon terminated the run).
 func (s *Simulator) Run(horizon Time) {
 	s.halted = false
+	if s.ctx != nil && s.ctx.Err() != nil {
+		s.halted = true
+	}
 	for len(s.queue) > 0 && !s.halted {
 		ev := s.queue[0]
 		if ev.at > horizon {
@@ -178,6 +201,9 @@ func (s *Simulator) Run(horizon Time) {
 		s.live--
 		ev.fn()
 		if s.wdFn != nil && s.fired%s.wdEvery == 0 && !s.wdFn() {
+			s.halted = true
+		}
+		if s.ctx != nil && s.fired%ctxCheckEvery == 0 && s.ctx.Err() != nil {
 			s.halted = true
 		}
 	}
