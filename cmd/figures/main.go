@@ -39,6 +39,7 @@ import (
 	"starvation/internal/core"
 	"starvation/internal/guard"
 	"starvation/internal/obs"
+	"starvation/internal/prof"
 	"starvation/internal/runner"
 	"starvation/internal/scenario"
 	"starvation/internal/trace"
@@ -55,7 +56,20 @@ var (
 	cacheDir = flag.String("cache", "", "result cache directory (default <out>/.cache)")
 	noCache  = flag.Bool("no-cache", false, "disable the result cache (every section re-simulates)")
 	listOnly = flag.Bool("list", false, "list section IDs in run order and exit")
+
+	cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the batch to this file")
+	memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 )
+
+// stopProfiles finishes -cpuprofile/-memprofile; exit paths call it
+// explicitly because deferred calls don't run under os.Exit. Idempotent.
+var stopProfiles = func() {}
+
+// exit stops the profilers and terminates with the given status.
+func exit(code int) {
+	stopProfiles()
+	os.Exit(code)
+}
 
 // timeNow stamps the summary header; a variable so tests can pin it and
 // assert byte-identical summaries across runs.
@@ -269,14 +283,21 @@ func main() {
 		}
 		return
 	}
-	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+	profStop, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	stopProfiles = profStop
+	defer stopProfiles()
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		exit(1)
 	}
 	if *obsDir != "" {
 		if err := os.MkdirAll(*obsDir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			exit(1)
 		}
 	}
 	var filter map[string]bool
@@ -323,18 +344,18 @@ func main() {
 	errPath := filepath.Join(*outDir, "errors.json")
 	if err := man.WriteFile(errPath); err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		exit(1)
 	}
 	if err := assemble(os.Stdout, results); err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		exit(1)
 	}
 	st := pool.Stats()
 	fmt.Printf("\n%d simulated, %d cached, %d failed; summary written to %s\n",
 		st.Executed, st.CacheHits, st.Failed, filepath.Join(*outDir, "summary.md"))
 	if len(man.Errors) > 0 {
 		fmt.Fprintf(os.Stderr, "figures: %d section(s) failed; see %s\n", len(man.Errors), errPath)
-		os.Exit(1)
+		exit(1)
 	}
 }
 

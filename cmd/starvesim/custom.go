@@ -172,6 +172,7 @@ func parseJitter(spec string, seed int64) (jitter.Policy, error) {
 
 func fatalf(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	stopProfiles()
 	os.Exit(1)
 }
 
@@ -179,5 +180,6 @@ func fatalf(format string, args ...any) {
 // network spec) with the conventional usage-error status.
 func usagef(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	stopProfiles()
 	os.Exit(2)
 }

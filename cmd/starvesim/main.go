@@ -44,9 +44,15 @@ import (
 	"starvation/internal/guard"
 	"starvation/internal/network"
 	"starvation/internal/obs"
+	"starvation/internal/prof"
 	"starvation/internal/runner"
 	"starvation/internal/scenario"
 )
+
+// stopProfiles finishes -cpuprofile/-memprofile. It must run before any
+// os.Exit (deferred calls don't), so exit paths call it explicitly; the
+// function is idempotent.
+var stopProfiles = func() {}
 
 func main() {
 	var (
@@ -76,8 +82,18 @@ func main() {
 		jspec  = flag.String("jitter", "", "freeform mode: flow 0 jitter, kind:value (const|uniform|aggregate|burst:5ms, spike:10ms/100ms)")
 		loss1  = flag.Float64("loss", 0, "freeform mode: flow 0 random loss probability")
 		ackPer = flag.Duration("ackagg", 0, "freeform mode: flow 0 ACK aggregation period")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	stop, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fatalf("starvesim: %v", err)
+	}
+	stopProfiles = stop
+	defer stopProfiles()
 
 	observing := *tracePath != "" || *metricsPath != ""
 	if observing && *name == "all" {
@@ -188,6 +204,7 @@ func runAll(jobs int, opts scenario.Opts) {
 			code = 1
 		}
 	}
+	stopProfiles()
 	os.Exit(code)
 }
 
@@ -215,6 +232,7 @@ func runSweep(name string, baseSeed int64, n, jobs int, duration time.Duration, 
 			code = 1
 		}
 	}
+	stopProfiles()
 	os.Exit(code)
 }
 
@@ -262,6 +280,7 @@ func reportGuard(res *network.Result) {
 	}
 	if !res.Guard.Ok() {
 		fmt.Fprintln(os.Stderr, res.Guard.String())
+		stopProfiles()
 		os.Exit(1)
 	}
 }

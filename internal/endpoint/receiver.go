@@ -46,6 +46,9 @@ type Receiver struct {
 	lastSentAt time.Duration
 	lastRetx   bool
 	flushTimer sim.Handle
+	// flushFn is the flush method bound once so arming the delayed-ACK or
+	// aggregation timer never allocates a method-value closure.
+	flushFn func()
 	// pendAcks buffers fully formed per-packet ACKs in aggregation mode:
 	// an aggregating element (Wi-Fi, interrupt coalescing) holds the ACK
 	// packets themselves and releases them in a burst, it does not merge
@@ -68,7 +71,9 @@ func NewReceiver(s *sim.Simulator, flow packet.FlowID, cfg AckConfig, out netem.
 	if cfg.DelayCount > 1 && cfg.DelayTimeout <= 0 {
 		cfg.DelayTimeout = 40 * time.Millisecond
 	}
-	return &Receiver{sim: s, flow: flow, cfg: cfg, out: out, ooo: make(map[int64]int)}
+	r := &Receiver{sim: s, flow: flow, cfg: cfg, out: out, ooo: make(map[int64]int)}
+	r.flushFn = r.flush
+	return r
 }
 
 // DeliveredBytes returns the count of distinct payload bytes accepted so
@@ -145,7 +150,7 @@ func (r *Receiver) OnPacket(p packet.Packet) {
 		if r.pendCount >= r.cfg.DelayCount {
 			r.flush()
 		} else if !r.flushTimer.Pending() {
-			r.flushTimer = r.sim.After(r.cfg.DelayTimeout, r.flush)
+			r.flushTimer = r.sim.After(r.cfg.DelayTimeout, r.flushFn)
 		}
 	default:
 		r.flush()
@@ -162,7 +167,7 @@ func (r *Receiver) armAggregate(now time.Duration) {
 	if rem == 0 {
 		wait = 0
 	}
-	r.flushTimer = r.sim.After(wait, r.flush)
+	r.flushTimer = r.sim.After(wait, r.flushFn)
 }
 
 func (r *Receiver) flush() {
@@ -172,13 +177,15 @@ func (r *Receiver) flush() {
 		r.flushTimer.Cancel()
 		now := r.sim.Now()
 		burst := r.pendAcks
-		r.pendAcks = nil
 		r.pendCount, r.pendNewly, r.pendECE = 0, 0, false
 		for _, a := range burst {
 			a.RecvdAt = now
 			r.AcksSent++
 			r.out(a)
 		}
+		// OnPacket cannot re-enter during the release loop (r.out only
+		// schedules), so the buffer can be recycled for the next burst.
+		r.pendAcks = burst[:0]
 		return
 	}
 	if r.pendCount == 0 {

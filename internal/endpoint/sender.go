@@ -47,6 +47,9 @@ type Sender struct {
 	pipe    int
 	segs    map[int64]*segState
 	retxQ   []int64
+	// segFree recycles acked segState records: steady-state transmission
+	// allocates one record per distinct in-flight segment, not per packet.
+	segFree []*segState
 
 	// Recovery state.
 	dupAcks       int
@@ -66,6 +69,14 @@ type Sender struct {
 
 	// CCA tick driver.
 	tickTimer sim.Handle
+	ticker    cca.Ticker
+
+	// Timer callbacks bound once at construction/start: the scheduler is
+	// handed these stored func values, never a freshly bound method value,
+	// so arming a timer is allocation-free.
+	trySendFn func()
+	onRTOFn   func()
+	onTickFn  func()
 
 	started bool
 	stopped bool
@@ -98,7 +109,7 @@ func NewSender(s *sim.Simulator, flow packet.FlowID, alg cca.Algorithm, mss int,
 	if mss <= 0 {
 		mss = DefaultMSS
 	}
-	return &Sender{
+	sn := &Sender{
 		sim:    s,
 		flow:   flow,
 		mss:    mss,
@@ -107,6 +118,9 @@ func NewSender(s *sim.Simulator, flow packet.FlowID, alg cca.Algorithm, mss int,
 		segs:   make(map[int64]*segState),
 		minRTO: DefaultMinRTO,
 	}
+	sn.trySendFn = sn.trySend
+	sn.onRTOFn = sn.onRTO
+	return sn
 }
 
 // Algorithm returns the sender's CCA.
@@ -143,18 +157,24 @@ func (sn *Sender) Stop() {
 }
 
 func (sn *Sender) armTick(t cca.Ticker) {
+	if sn.onTickFn == nil {
+		sn.ticker = t
+		sn.onTickFn = sn.onTick
+	}
 	iv := t.TickInterval()
 	if iv <= 0 {
 		iv = 10 * time.Millisecond
 	}
-	sn.tickTimer = sn.sim.After(iv, func() {
-		if sn.stopped {
-			return
-		}
-		t.OnTick(sn.sim.Now())
-		sn.armTick(t)
-		sn.trySend()
-	})
+	sn.tickTimer = sn.sim.After(iv, sn.onTickFn)
+}
+
+func (sn *Sender) onTick() {
+	if sn.stopped {
+		return
+	}
+	sn.ticker.OnTick(sn.sim.Now())
+	sn.armTick(sn.ticker)
+	sn.trySend()
 }
 
 // trySend transmits as many segments as the window and pacing allow, and
@@ -213,14 +233,20 @@ func (sn *Sender) scheduleWake(at time.Duration) {
 	if sn.sendTimer.Pending() {
 		return
 	}
-	sn.sendTimer = sn.sim.At(at, sn.trySend)
+	sn.sendTimer = sn.sim.At(at, sn.trySendFn)
 }
 
 func (sn *Sender) sendSegment(seq int64, retx bool) {
 	now := sn.sim.Now()
 	st, ok := sn.segs[seq]
 	if !ok {
-		st = &segState{size: sn.mss}
+		if n := len(sn.segFree); n > 0 {
+			st = sn.segFree[n-1]
+			sn.segFree = sn.segFree[:n-1]
+			*st = segState{size: sn.mss}
+		} else {
+			st = &segState{size: sn.mss}
+		}
 		sn.segs[seq] = st
 	}
 	st.sentAt = now
@@ -303,6 +329,7 @@ func (sn *Sender) OnAck(a packet.Ack) {
 			}
 			newly += st.size
 			delete(sn.segs, seq)
+			sn.segFree = append(sn.segFree, st)
 			seq += int64(st.size)
 		}
 		sn.cumAck = a.CumAck
@@ -453,7 +480,7 @@ func (sn *Sender) rto() time.Duration {
 
 func (sn *Sender) armRTO() {
 	sn.rtoTimer.Cancel()
-	sn.rtoTimer = sn.sim.After(sn.rto(), sn.onRTO)
+	sn.rtoTimer = sn.sim.After(sn.rto(), sn.onRTOFn)
 }
 
 // touchRTO arms the timer only if none is pending, so a continuous stream

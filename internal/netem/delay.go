@@ -23,9 +23,10 @@ func NewPropagation(s *sim.Simulator, d time.Duration, out PacketHandler) *Propa
 	return &Propagation{sim: s, d: d, out: out}
 }
 
-// Send delays p by the propagation time.
+// Send delays p by the propagation time. The packet rides inline in the
+// event record (AfterPacket), so forwarding is allocation-free.
 func (pr *Propagation) Send(p packet.Packet) {
-	pr.sim.After(pr.d, func() { pr.out(p) })
+	pr.sim.AfterPacket(pr.d, pr.out, p)
 }
 
 // DelayBox is the paper's per-flow non-congestive delay element for data
@@ -39,6 +40,12 @@ type DelayBox struct {
 	lastRelease time.Duration
 	inTransit   int64
 
+	// deliverFn/releaseFn are the deliver and release methods bound once at
+	// construction so the per-packet scheduling calls pass an existing func
+	// value instead of allocating a method-value closure each time.
+	deliverFn func(packet.Packet)
+	releaseFn func(packet.Packet)
+
 	// MaxApplied records the largest delay actually applied, for checking
 	// that a scenario stayed within its declared bound D.
 	MaxApplied time.Duration
@@ -51,7 +58,10 @@ func (b *DelayBox) InTransit() int64 { return b.inTransit }
 
 // NewDelayBox returns a delay element applying the given policy.
 func NewDelayBox(s *sim.Simulator, p jitter.Policy, out PacketHandler) *DelayBox {
-	return &DelayBox{sim: s, policy: p, out: out}
+	b := &DelayBox{sim: s, policy: p, out: out}
+	b.deliverFn = b.deliver
+	b.releaseFn = b.release
+	return b
 }
 
 // Send applies the policy delay to p.
@@ -69,7 +79,7 @@ func (b *DelayBox) SendAfter(p packet.Packet, extra time.Duration) {
 		b.deliver(p)
 		return
 	}
-	b.sim.After(extra, func() { b.deliver(p) })
+	b.sim.AfterPacket(extra, b.deliverFn, p)
 }
 
 func (b *DelayBox) deliver(p packet.Packet) {
@@ -91,10 +101,13 @@ func (b *DelayBox) deliver(p packet.Packet) {
 		release = b.lastRelease // preserve FIFO order within the flow
 	}
 	b.lastRelease = release
-	b.sim.At(release, func() {
-		b.inTransit--
-		b.out(p)
-	})
+	b.sim.AtPacket(release, b.releaseFn, p)
+}
+
+// release hands a held packet downstream at its scheduled release time.
+func (b *DelayBox) release(p packet.Packet) {
+	b.inTransit--
+	b.out(p)
 }
 
 // AckDelayBox is the same element for the reverse (ACK) path.
@@ -127,5 +140,5 @@ func (b *AckDelayBox) Send(a packet.Ack) {
 		release = b.lastRelease
 	}
 	b.lastRelease = release
-	b.sim.At(release, func() { b.out(a) })
+	b.sim.AtAck(release, b.out, a)
 }

@@ -43,13 +43,19 @@ type Reorderer struct {
 	probe obs.Probe
 	held  int64
 
+	// releaseFn is the release method bound once so deferrals schedule
+	// without a per-packet closure allocation.
+	releaseFn func(packet.Packet)
+
 	Passed   int64 // packets forwarded in order
 	Deferred int64 // packets deliberately deferred
 }
 
 // NewReorderer returns a reordering element feeding out.
 func NewReorderer(cfg ReorderConfig, rng *rand.Rand, s *sim.Simulator, out netem.PacketHandler) *Reorderer {
-	return &Reorderer{cfg: cfg, rng: rng, sim: s, out: out}
+	r := &Reorderer{cfg: cfg, rng: rng, sim: s, out: out}
+	r.releaseFn = r.release
+	return r
 }
 
 // SetProbe installs a lifecycle-event probe; deferrals are reported as
@@ -69,12 +75,15 @@ func (r *Reorderer) Send(p packet.Packet) {
 			r.probe.Emit(obs.Event{Type: obs.EvReorder, At: r.sim.Now(), Flow: p.Flow,
 				Seq: p.Seq, Bytes: p.Size, Queue: -1, Retx: p.Retx, Dup: p.Dup})
 		}
-		r.sim.After(r.cfg.Delay, func() {
-			r.held--
-			r.out(p)
-		})
+		r.sim.AfterPacket(r.cfg.Delay, r.releaseFn, p)
 		return
 	}
 	r.Passed++
+	r.out(p)
+}
+
+// release forwards a deferred packet at the end of its displacement.
+func (r *Reorderer) release(p packet.Packet) {
+	r.held--
 	r.out(p)
 }

@@ -39,6 +39,11 @@ type Link struct {
 	queuedBytes   int
 	lastDeparture time.Duration
 
+	// departFn is departHead bound once at construction: the hot enqueue
+	// path passes it to the scheduler instead of re-binding the method
+	// value (which would allocate a closure per packet).
+	departFn func()
+
 	// pending[head:] are the queued packets in FIFO order, each with the
 	// handle of its scheduled departure so SetRate can reschedule them. At
 	// a constant rate this registry is pure bookkeeping: departures are
@@ -81,7 +86,9 @@ type FlowLinkStats struct {
 // NewLink creates a bottleneck of the given rate and buffer size that
 // delivers departing packets to out.
 func NewLink(s *sim.Simulator, rate units.Rate, bufferBytes int, out PacketHandler) *Link {
-	return &Link{sim: s, rate: rate, buf: bufferBytes, out: out}
+	l := &Link{sim: s, rate: rate, buf: bufferBytes, out: out}
+	l.departFn = l.departHead
+	return l
 }
 
 // SetECNThreshold enables ECN marking for packets that arrive when the
@@ -155,7 +162,7 @@ func (l *Link) SetRate(r units.Rate) {
 		}
 		prev += tx
 		pe.depart = prev
-		pe.handle = l.sim.At(prev, l.departHead)
+		pe.handle = l.sim.At(prev, l.departFn)
 	}
 	l.down = false
 	if l.head < len(l.pending) {
@@ -253,7 +260,7 @@ func (l *Link) Enqueue(p packet.Packet) {
 		l.pending = append(l.pending, linkPend{pkt: p})
 		return
 	}
-	handle := l.sim.At(depart, l.departHead)
+	handle := l.sim.At(depart, l.departFn)
 	l.pending = append(l.pending, linkPend{pkt: p, handle: handle, depart: depart})
 }
 

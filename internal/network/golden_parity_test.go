@@ -1,0 +1,138 @@
+package network
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"starvation/internal/cca/bbr"
+	"starvation/internal/cca/vegas"
+	"starvation/internal/endpoint"
+	"starvation/internal/netem/faults"
+	"starvation/internal/netem/jitter"
+	"starvation/internal/trace"
+	"starvation/internal/units"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden parity hashes from the current engine")
+
+// goldenScenarios are fixed-seed runs that exercise every scheduling path
+// the event loop serves: link departures, propagation, data/ACK jitter
+// boxes, sender pacing/tick/RTO timers, receiver delayed-ACK and
+// aggregation flushes, and the reorderer's deferred release. Their hashed
+// output pins the realization bit-for-bit, so any engine change that
+// perturbs event order — however subtly — fails here before it can
+// silently invalidate cached runner artifacts or the figures tree.
+func goldenScenarios() map[string]func() *Result {
+	return map[string]func() *Result{
+		"clean": func() *Result {
+			n := New(
+				Config{Rate: units.Mbps(48), BufferBytes: 64 * 1500, Seed: 7},
+				FlowSpec{
+					Alg:       vegas.New(vegas.Config{}),
+					Rm:        40 * time.Millisecond,
+					FwdJitter: &jitter.Uniform{Max: 4 * time.Millisecond, Rng: rand.New(rand.NewSource(5))},
+					Ack:       endpoint.AckConfig{DelayCount: 2},
+				},
+				FlowSpec{
+					Alg:       bbr.New(bbr.Config{}),
+					Rm:        80 * time.Millisecond,
+					AckJitter: &jitter.Uniform{Max: 2 * time.Millisecond, Rng: rand.New(rand.NewSource(9))},
+					StartAt:   500 * time.Millisecond,
+				},
+			)
+			return n.Run(5 * time.Second)
+		},
+		"impaired": func() *Result {
+			n := New(
+				Config{Rate: units.Mbps(24), BufferBytes: 48 * 1500, Seed: 11},
+				FlowSpec{
+					Alg:      vegas.New(vegas.Config{}),
+					Rm:       30 * time.Millisecond,
+					LossProb: 0.01,
+				},
+				FlowSpec{
+					Alg: vegas.New(vegas.Config{}),
+					Rm:  60 * time.Millisecond,
+					Ack: endpoint.AckConfig{AggregatePeriod: 5 * time.Millisecond},
+					Faults: &faults.Spec{
+						GE:        &faults.GEConfig{PGoodToBad: 0.005, PBadToGood: 0.3, PDropBad: 0.5},
+						Reorder:   &faults.ReorderConfig{P: 0.02, Delay: 3 * time.Millisecond},
+						Duplicate: &faults.DupConfig{P: 0.01},
+					},
+				},
+			)
+			return n.Run(5 * time.Second)
+		},
+	}
+}
+
+// hashResult folds every trace and the result table into one digest.
+func hashResult(t *testing.T, res *Result) string {
+	t.Helper()
+	var buf bytes.Buffer
+	series := []*trace.Series{res.QueueTrace}
+	for i := range res.Flows {
+		f := &res.Flows[i]
+		series = append(series, f.RTT, f.Rate, f.Cwnd)
+	}
+	for _, s := range series {
+		if err := s.WriteCSV(&buf); err != nil {
+			t.Fatalf("writing %s: %v", s.Name, err)
+		}
+	}
+	buf.WriteString(res.String())
+	fmt.Fprintf(&buf, "fired=%d scheduled=%d\n",
+		res.Obs.Global.SimEventsFired, res.Obs.Global.SimEventsScheduled)
+	sum := sha256.Sum256(buf.Bytes())
+	return hex.EncodeToString(sum[:])
+}
+
+// TestGoldenParity asserts that fixed-seed realizations are byte-identical
+// to the hashes recorded in testdata/golden_parity.json (captured on the
+// container/heap engine before the pooled event-queue rewrite). Regenerate
+// with: go test ./internal/network -run TestGoldenParity -update
+func TestGoldenParity(t *testing.T) {
+	path := filepath.Join("testdata", "golden_parity.json")
+	got := map[string]string{}
+	for name, run := range goldenScenarios() {
+		got[name] = hashResult(t, run())
+	}
+	if *updateGolden {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file (run with -update to create): %v", err)
+	}
+	want := map[string]string{}
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("parsing %s: %v", path, err)
+	}
+	for name, h := range got {
+		if w, ok := want[name]; !ok {
+			t.Errorf("%s: no golden hash recorded (run -update)", name)
+		} else if h != w {
+			t.Errorf("%s: realization diverged from golden engine: got %s want %s", name, h, w)
+		}
+	}
+}

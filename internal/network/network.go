@@ -142,6 +142,10 @@ type Network struct {
 	monitor *guard.Monitor
 	report  guard.Report
 
+	// sampleFn is the sample method bound once so the self-rescheduling
+	// trace sampler never re-binds a method value.
+	sampleFn func()
+
 	QueueTrace trace.Series // queue depth bytes vs time
 }
 
@@ -200,6 +204,7 @@ func newNetwork(cfg Config, specs ...FlowSpec) *Network {
 		s.SetContext(cfg.Ctx)
 	}
 	n := &Network{Sim: s, cfg: cfg}
+	n.sampleFn = n.sample
 	if cfg.Guard != nil {
 		// The monitor taps the probe stream; read-only, so guarded and
 		// unguarded runs of the same seed stay bit-identical.
@@ -320,6 +325,16 @@ func (n *Network) Run(d time.Duration) *Result {
 // RunWindow executes the scenario for duration d, computing steady-state
 // statistics over [from, to).
 func (n *Network) RunWindow(d, from, to time.Duration) *Result {
+	// The sampled series sizes are known exactly from the horizon and the
+	// sampling interval: reserve them up front so the run itself never
+	// regrows a trace buffer. (The RTT trace is ACK-paced and unknowable
+	// here; it keeps amortized appends.)
+	samples := int(d/n.cfg.SampleEvery) + 2
+	n.QueueTrace.Reserve(samples)
+	for _, f := range n.Flows {
+		f.RateTrace.Reserve(samples)
+		f.CwndTrace.Reserve(samples)
+	}
 	for _, f := range n.Flows {
 		fl := f
 		n.Sim.At(fl.Spec.StartAt, fl.Sender.Start)
@@ -379,7 +394,7 @@ func (n *Network) sample() {
 				Flow: f.ID, Seq: int64(rate), Queue: depth})
 		}
 	}
-	n.Sim.After(n.cfg.SampleEvery, n.sample)
+	n.Sim.After(n.cfg.SampleEvery, n.sampleFn)
 }
 
 // Salts separate the random streams of a flow's impairment elements; the

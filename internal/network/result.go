@@ -75,6 +75,7 @@ func (n *Network) collect(d, from, to time.Duration) *Result {
 		Duration:   d,
 		WindowFrom: from,
 		WindowTo:   to,
+		Flows:      make([]FlowResult, 0, len(n.Flows)),
 		QueueTrace: &n.QueueTrace,
 		LinkRate:   n.cfg.Rate,
 		Dropped:    n.Link.Dropped,

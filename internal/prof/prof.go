@@ -1,0 +1,54 @@
+// Package prof wires the standard pprof profilers into CLI entry points.
+// The next performance PR should start from a profile, not a guess: every
+// command takes -cpuprofile/-memprofile flags and funnels them here.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling (when cpuPath is non-empty) and returns a
+// stop function that finishes the CPU profile and writes the heap profile
+// (when memPath is non-empty). The stop function is idempotent, so it is
+// safe to both defer it and call it explicitly before an os.Exit path —
+// deferred calls never run under os.Exit, which is exactly when a profile
+// would otherwise be silently lost.
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: starting CPU profile: %w", err)
+		}
+	}
+	done := false
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "prof: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set before snapshotting
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "prof: writing heap profile: %v\n", err)
+			}
+		}
+	}, nil
+}

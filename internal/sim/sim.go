@@ -4,84 +4,64 @@
 // (bottleneck queue, delay boxes, endpoints) schedules callbacks on a shared
 // virtual clock. Events with equal timestamps fire in scheduling order, so a
 // run is a pure function of the scenario configuration and its RNG seeds.
+//
+// The event queue is allocation-free on the hot path: records live in a
+// pooled arena ordered by an intrusive 4-ary min-heap (see queue.go), and
+// the typed entry points (AtPacket/AfterPacket, AtAck/AfterAck) carry a
+// packet or ACK payload inline in the record so per-packet call sites need
+// no capturing closure.
 package sim
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
 	"math/rand"
 	"time"
+
+	"starvation/internal/packet"
 )
 
 // Time is virtual time since the start of the simulation.
 type Time = time.Duration
 
-// Event is a scheduled callback.
-type event struct {
-	at   Time
-	seq  uint64 // tie-break: FIFO among equal timestamps
-	fn   func()
-	sim  *Simulator
-	dead bool
-	idx  int
+// Handle identifies a scheduled event so it can be cancelled. It names the
+// event by arena slot plus the slot's generation at scheduling time, so a
+// Handle outliving its event (fired or cancelled, slot since reused) is
+// detected as stale and every operation on it is a no-op.
+type Handle struct {
+	s    *Simulator
+	slot int32
+	gen  uint32
 }
 
-// Handle identifies a scheduled event so it can be cancelled.
-type Handle struct{ ev *event }
-
-// Cancel prevents the event from firing. Cancelling an already-fired or
-// already-cancelled event is a no-op.
+// Cancel prevents the event from firing, releasing its record immediately.
+// Cancelling an already-fired or already-cancelled event is a no-op.
 func (h Handle) Cancel() {
-	ev := h.ev
-	if ev == nil || ev.dead {
+	s := h.s
+	if s == nil {
 		return
 	}
-	ev.dead = true
-	if ev.idx >= 0 {
-		// Still in the queue: it leaves the live population now; the heap
-		// pop that eventually discards the corpse must not count it again.
-		ev.sim.live--
-		ev.sim.cancelled++
+	rec := &s.arena[h.slot]
+	if rec.gen != h.gen {
+		return // stale: the event fired or was cancelled, slot may be reused
 	}
+	s.heapRemove(rec.heapIdx)
+	s.free(h.slot)
+	s.live--
+	s.cancelled++
 }
 
 // Pending reports whether the event is still scheduled to fire.
-func (h Handle) Pending() bool { return h.ev != nil && !h.ev.dead && h.ev.idx >= 0 }
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.idx = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.idx = -1
-	*h = old[:n-1]
-	return ev
+func (h Handle) Pending() bool {
+	return h.s != nil && h.s.arena[h.slot].gen == h.gen
 }
 
 // Simulator owns the virtual clock and the event queue.
 type Simulator struct {
 	now       Time
-	queue     eventHeap
+	arena     []eventRec // pooled event records
+	heap      []int32    // 4-ary min-heap of arena indices, ordered by (at, seq)
+	freeHead  int32      // head of the free-slot list (noSlot when empty)
 	seq       uint64
 	fired     uint64
 	cancelled uint64
@@ -99,7 +79,7 @@ type Simulator struct {
 // behaviour in a scenario must draw from Rand() (or from generators derived
 // from it) so runs are reproducible.
 func New(seed int64) *Simulator {
-	return &Simulator{rng: rand.New(rand.NewSource(seed))}
+	return &Simulator{rng: rand.New(rand.NewSource(seed)), freeHead: noSlot}
 }
 
 // Now returns the current virtual time.
@@ -124,17 +104,30 @@ func (s *Simulator) Stats() Stats {
 	return Stats{Scheduled: s.seq, Fired: s.fired, Cancelled: s.cancelled, Live: s.live}
 }
 
-// At schedules fn to run at absolute virtual time t. Scheduling in the past
-// panics: that is always a logic error in a network element.
-func (s *Simulator) At(t Time, fn func()) Handle {
+// schedule claims a pooled record for an event at t and queues it. The
+// caller fills the kind-specific payload fields of the returned record;
+// this is safe because nothing can run between schedule and that fill.
+func (s *Simulator) schedule(t Time) (int32, *eventRec) {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
 	}
-	ev := &event{at: t, seq: s.seq, fn: fn, sim: s}
+	slot := s.alloc()
+	rec := &s.arena[slot]
+	rec.at = t
+	rec.seq = s.seq
 	s.seq++
 	s.live++
-	heap.Push(&s.queue, ev)
-	return Handle{ev}
+	s.heapPush(slot)
+	return slot, rec
+}
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: that is always a logic error in a network element.
+func (s *Simulator) At(t Time, fn func()) Handle {
+	slot, rec := s.schedule(t)
+	rec.kind = kindFunc
+	rec.fn = fn
+	return Handle{s, slot, rec.gen}
 }
 
 // After schedules fn to run d after the current virtual time.
@@ -143,6 +136,44 @@ func (s *Simulator) After(d time.Duration, fn func()) Handle {
 		d = 0
 	}
 	return s.At(s.now+d, fn)
+}
+
+// AtPacket schedules fn(p) at absolute virtual time t. The packet rides
+// inline in the pooled event record, so a call site that passes a stored
+// handler (rather than constructing a closure) schedules without
+// allocating.
+func (s *Simulator) AtPacket(t Time, fn func(packet.Packet), p packet.Packet) Handle {
+	slot, rec := s.schedule(t)
+	rec.kind = kindPacket
+	rec.pfn = fn
+	rec.pkt = p
+	return Handle{s, slot, rec.gen}
+}
+
+// AfterPacket schedules fn(p) to run d after the current virtual time.
+func (s *Simulator) AfterPacket(d time.Duration, fn func(packet.Packet), p packet.Packet) Handle {
+	if d < 0 {
+		d = 0
+	}
+	return s.AtPacket(s.now+d, fn, p)
+}
+
+// AtAck schedules fn(a) at absolute virtual time t, the ACK-path analogue
+// of AtPacket.
+func (s *Simulator) AtAck(t Time, fn func(packet.Ack), a packet.Ack) Handle {
+	slot, rec := s.schedule(t)
+	rec.kind = kindAck
+	rec.afn = fn
+	rec.ack = a
+	return Handle{s, slot, rec.gen}
+}
+
+// AfterAck schedules fn(a) to run d after the current virtual time.
+func (s *Simulator) AfterAck(d time.Duration, fn func(packet.Ack), a packet.Ack) Handle {
+	if d < 0 {
+		d = 0
+	}
+	return s.AtAck(s.now+d, fn, a)
 }
 
 // Halt stops the run loop after the current event returns.
@@ -179,6 +210,19 @@ func (s *Simulator) Watchdog(everyN uint64, fn func() bool) {
 	s.wdFn = fn
 }
 
+// guardsTripped applies the watchdog and context checks at their event-
+// count cadences; it reports whether either demands a halt. Shared by Run
+// and Step so a Step-driven loop honors the same guards as Run.
+func (s *Simulator) guardsTripped() bool {
+	if s.wdFn != nil && s.fired%s.wdEvery == 0 && !s.wdFn() {
+		return true
+	}
+	if s.ctx != nil && s.fired%ctxCheckEvery == 0 && s.ctx.Err() != nil {
+		return true
+	}
+	return false
+}
+
 // Run executes events until the queue is empty, the horizon is reached, or
 // Halt is called. The clock is left at the later of its current value and
 // the horizon (when the horizon terminated the run).
@@ -187,23 +231,12 @@ func (s *Simulator) Run(horizon Time) {
 	if s.ctx != nil && s.ctx.Err() != nil {
 		s.halted = true
 	}
-	for len(s.queue) > 0 && !s.halted {
-		ev := s.queue[0]
-		if ev.at > horizon {
+	for len(s.heap) > 0 && !s.halted {
+		if s.arena[s.heap[0]].at > horizon {
 			break
 		}
-		heap.Pop(&s.queue)
-		if ev.dead {
-			continue // already uncounted at Cancel time
-		}
-		s.now = ev.at
-		s.fired++
-		s.live--
-		ev.fn()
-		if s.wdFn != nil && s.fired%s.wdEvery == 0 && !s.wdFn() {
-			s.halted = true
-		}
-		if s.ctx != nil && s.fired%ctxCheckEvery == 0 && s.ctx.Err() != nil {
+		s.fireRoot()
+		if s.guardsTripped() {
 			s.halted = true
 		}
 	}
@@ -212,21 +245,25 @@ func (s *Simulator) Run(horizon Time) {
 	}
 }
 
-// Step executes exactly one pending event (skipping cancelled ones) and
-// reports whether an event fired.
+// Step executes exactly one pending event and reports whether an event
+// fired. It honors the same guards as Run: a cancelled context stops the
+// loop before the next event fires, the watchdog is consulted at its usual
+// event-count cadence, and a halted simulator (Halt, a tripped watchdog, or
+// a dead context) steps no further — so a Step-driven driver cannot bypass
+// the protections a Run-driven one gets. Run resets the halt latch on
+// entry, as before.
 func (s *Simulator) Step() bool {
-	for len(s.queue) > 0 {
-		ev := heap.Pop(&s.queue).(*event)
-		if ev.dead {
-			continue
-		}
-		s.now = ev.at
-		s.fired++
-		s.live--
-		ev.fn()
-		return true
+	if s.ctx != nil && s.ctx.Err() != nil {
+		s.halted = true
 	}
-	return false
+	if s.halted || len(s.heap) == 0 {
+		return false
+	}
+	s.fireRoot()
+	if s.guardsTripped() {
+		s.halted = true
+	}
+	return true
 }
 
 // Pending returns the number of live events in the queue. It is O(1): the

@@ -285,7 +285,10 @@ func TestStatsAndLiveCounter(t *testing.T) {
 }
 
 // TestPendingMatchesQueueScan cross-checks the maintained counter against a
-// brute-force scan under a random schedule/cancel/step workload.
+// brute-force scan under a random schedule/cancel/step workload. Cancelled
+// events leave the heap eagerly, so every heap entry is live; the scan also
+// verifies the heap/arena cross-links and that heap plus free list account
+// for every arena slot.
 func TestPendingMatchesQueueScan(t *testing.T) {
 	s := New(7)
 	rng := rand.New(rand.NewSource(99))
@@ -301,14 +304,20 @@ func TestPendingMatchesQueueScan(t *testing.T) {
 		case 2:
 			s.Step()
 		}
-		scan := 0
-		for _, ev := range s.queue {
-			if !ev.dead {
-				scan++
+		if len(s.heap) != s.Pending() {
+			t.Fatalf("step %d: Pending = %d, heap len = %d", i, s.Pending(), len(s.heap))
+		}
+		for pos, slot := range s.heap {
+			if got := s.arena[slot].heapIdx; got != int32(pos) {
+				t.Fatalf("step %d: slot %d at heap pos %d records heapIdx %d", i, slot, pos, got)
 			}
 		}
-		if scan != s.Pending() {
-			t.Fatalf("step %d: Pending = %d, scan = %d", i, s.Pending(), scan)
+		free := 0
+		for f := s.freeHead; f != noSlot; f = s.arena[f].nextFree {
+			free++
+		}
+		if free+len(s.heap) != len(s.arena) {
+			t.Fatalf("step %d: %d free + %d queued != %d arena slots", i, free, len(s.heap), len(s.arena))
 		}
 	}
 }

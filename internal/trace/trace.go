@@ -28,6 +28,18 @@ func (s *Series) Add(t time.Duration, v float64) {
 	s.Points = append(s.Points, Point{t, v})
 }
 
+// Reserve grows the sample buffer to hold at least n points, so a caller
+// that knows its sample count up front (horizon / sampling interval) pays
+// one allocation instead of log₂(n) append regrowths.
+func (s *Series) Reserve(n int) {
+	if n <= cap(s.Points) {
+		return
+	}
+	pts := make([]Point, len(s.Points), n)
+	copy(pts, s.Points)
+	s.Points = pts
+}
+
 // Len returns the number of samples.
 func (s *Series) Len() int { return len(s.Points) }
 
@@ -87,6 +99,9 @@ func (s *Series) Mean(from, to time.Duration) (mean float64, ok bool) {
 // sample.
 func (s *Series) Resample(start, end, step time.Duration, def float64) *Series {
 	out := &Series{Name: s.Name}
+	if step > 0 && end >= start {
+		out.Reserve(int((end-start)/step) + 1)
+	}
 	for t := start; t <= end; t += step {
 		out.Add(t, s.At(t, def))
 	}
@@ -98,6 +113,7 @@ func (s *Series) Resample(start, end, step time.Duration, def float64) *Series {
 // convergence time, the d̄(t) = d(t+T) of the Theorem 1 proof.
 func (s *Series) Shift(offset time.Duration) *Series {
 	out := &Series{Name: s.Name}
+	out.Reserve(len(s.Points))
 	for _, p := range s.Points {
 		if p.T < offset {
 			continue
