@@ -186,6 +186,7 @@ var sections = []batchSection{
 	{"X-T2", theorem2},
 	{"X-T3", theorem3},
 	{"X-CCAC", appendixC},
+	{"X-POP", population},
 }
 
 // sectionKey is the cache identity of a section: the section ID plus
@@ -547,6 +548,42 @@ func theorem3(ctx context.Context, r *reporter) {
 	}
 	if res.FoundPair {
 		r.row("- consecutive pair at step %d with ratio %.2f >= s", res.PairIndex, res.Ratio)
+	}
+}
+
+// population runs the N-flow population-starvation experiments: mixed-CCA,
+// heterogeneous-RTT, parking-lot and fan-in populations, each reported as
+// starved fraction / share quantiles and saved as a per-flow share CSV.
+func population(ctx context.Context, r *reporter) {
+	r.section("X-POP", "population-scale starvation (N-flow cohorts, multi-bottleneck)")
+	for _, name := range []string{"pop-mixed", "pop-rtt", "pop-parkinglot", "pop-fanin"} {
+		opts := scenario.Opts{Duration: dur(0, 6*time.Second), Ctx: ctx}
+		finish := r.observe(name, &opts)
+		res := scenario.Registry[name](opts)
+		finish(res)
+		st := res.Net.Population(0)
+		r.row("- %s: starved %.0f/%.0f (%.1f%%), jain %.3f, p5 share %.3f, p95 share %.3f",
+			name, res.Observables["starved"], res.Observables["flows"],
+			100*res.Observables["starved_frac"], res.Observables["jain"],
+			res.Observables["share_p5"], res.Observables["share_p95"])
+		id := strings.ReplaceAll(name, "-", "_")
+		r.save(id+"_shares.csv", func(w io.Writer) error {
+			if _, err := fmt.Fprintln(w, "flow,cohort,throughput_bps,share_of_fair"); err != nil {
+				return err
+			}
+			thpts := res.Net.Throughputs()
+			for i, f := range res.Net.Flows {
+				share := 0.0
+				if st.FairShare > 0 {
+					share = thpts[i] / st.FairShare
+				}
+				if _, err := fmt.Fprintf(w, "%s,%s,%.0f,%.4f\n", f.Name, f.Cohort, thpts[i], share); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		r.print(st.String())
 	}
 }
 

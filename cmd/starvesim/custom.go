@@ -40,7 +40,7 @@ type customFlags struct {
 	rm1, rm2     time.Duration
 	jitterSpec   string // applied to flow 1: kind:value, e.g. "uniform:5ms"
 	loss1        float64
-	faultsSpec   string // flow 0 impairments + link schedule, see faults.ParseProfile
+	faultsSpec   string        // flow 0 impairments + link schedule, see faults.ParseProfile
 	ackAggregate time.Duration // flow 1 ACK aggregation period
 	duration     time.Duration
 	seed         int64
@@ -115,59 +115,10 @@ func runCustom(f customFlags, probe obs.Probe) (*network.Result, error) {
 	return n.Run(f.duration), nil
 }
 
-// parseJitter turns "kind:value" into a jitter policy. Kinds: const,
-// uniform, aggregate (period), spike (period/len), burst (Gilbert-Elliott
-// bad-state delay).
+// parseJitter turns "kind:value" into a jitter policy with this run's
+// derived rng (see jitter.Parse for the grammar).
 func parseJitter(spec string, seed int64) (jitter.Policy, error) {
-	kind, valStr, ok := strings.Cut(spec, ":")
-	if !ok {
-		return nil, fmt.Errorf("jitter spec %q: want kind:value (e.g. uniform:5ms)", spec)
-	}
-	rng := rand.New(rand.NewSource(seed*101 + 3))
-	switch kind {
-	case "const":
-		d, err := time.ParseDuration(valStr)
-		if err != nil {
-			return nil, err
-		}
-		return jitter.Constant{D: d}, nil
-	case "uniform":
-		d, err := time.ParseDuration(valStr)
-		if err != nil {
-			return nil, err
-		}
-		return &jitter.Uniform{Max: d, Rng: rng}, nil
-	case "aggregate":
-		d, err := time.ParseDuration(valStr)
-		if err != nil {
-			return nil, err
-		}
-		return jitter.PeriodicAggregation{Period: d}, nil
-	case "spike":
-		lenStr, perStr, ok := strings.Cut(valStr, "/")
-		if !ok {
-			return nil, fmt.Errorf("spike spec: want spike:<len>/<period>")
-		}
-		l, err := time.ParseDuration(lenStr)
-		if err != nil {
-			return nil, err
-		}
-		p, err := time.ParseDuration(perStr)
-		if err != nil {
-			return nil, err
-		}
-		return jitter.PeriodicSpike{Period: p, SpikeLen: l}, nil
-	case "burst":
-		d, err := time.ParseDuration(valStr)
-		if err != nil {
-			return nil, err
-		}
-		return &jitter.GilbertElliott{
-			PGoodToBad: 0.02, PBadToGood: 0.2, BadDelay: d, Rng: rng,
-		}, nil
-	default:
-		return nil, fmt.Errorf("unknown jitter kind %q (const, uniform, aggregate, spike, burst)", kind)
-	}
+	return jitter.Parse(spec, rand.New(rand.NewSource(seed*101+3)))
 }
 
 func fatalf(format string, args ...any) {

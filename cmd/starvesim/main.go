@@ -7,6 +7,8 @@
 //	starvesim -scenario bbr-two -trace events.jsonl -metrics metrics.txt
 //	starvesim -scenario all [-jobs 4]
 //	starvesim -scenario bbr-two -sweep 10 [-sweep-jobs 4]
+//	starvesim -flows "vegas*8;reno*8:rm=120ms" -rate 48 -buffer 128
+//	starvesim -flows "vegas*8;reno*8" -topology fanin:4 -eps 0.1
 //
 // Each scenario prints the paper's claimed numbers next to the measured
 // ones. -trace streams the run's packet-lifecycle events (enqueue, drop,
@@ -21,6 +23,11 @@
 // and prints one observables line per seed; -sweep-jobs bounds the sweep
 // workers (0 = GOMAXPROCS). Every run is an independent deterministic
 // simulator, so parallelism never changes any measured number.
+//
+// -flows runs population mode: semicolon-separated flow groups
+// (cca[*count][:key=val,...]) over a -topology (single, parkinglot:<n>,
+// fanin:<n>), reporting population starvation statistics — starved
+// fraction under the -eps threshold, share quantiles, per-cohort Jain.
 //
 // -guard enables the run-guard layer (stall watchdog, conservation
 // checks); -deadline adds a wall-clock budget per run. -faults injects
@@ -71,6 +78,11 @@ func main() {
 		sweepN    = flag.Int("sweep", 0, "run the scenario across this many consecutive seeds, one observables line per seed")
 		sweepJobs = flag.Int("sweep-jobs", 0, "parallel workers for -sweep (0 = GOMAXPROCS)")
 
+		// Population mode: -flows selects it.
+		flows    = flag.String("flows", "", "population mode: semicolon-separated flow groups, cca[*count][:key=val,...] (keys: rm, start, stagger, jitter, loss, ackagg, path, cohort)")
+		topology = flag.String("topology", "single", "population mode: single | parkinglot:<hops> | fanin:<access-links>")
+		epsilon  = flag.Float64("eps", 0, "population mode: starvation threshold as a fraction of fair share (0 = default 0.1)")
+
 		// Freeform mode: -cca selects it; everything else is optional.
 		cca1   = flag.String("cca", "", "freeform mode: CCA for flow 0 (e.g. vegas, bbr)")
 		cca2   = flag.String("cca2", "", "freeform mode: CCA for flow 1 (empty = single flow)")
@@ -118,6 +130,37 @@ func main() {
 	guardOpts := guardOptions(*guardOn, *deadline)
 	if *fspec != "" && *cca1 == "" {
 		usagef("starvesim: -faults applies to freeform (-cca) mode; scenarios define their own impairments")
+	}
+
+	if *flows != "" {
+		if *cca1 != "" || *name != "" {
+			usagef("starvesim: -flows is its own mode; drop -cca/-scenario")
+		}
+		d := *duration
+		if d <= 0 {
+			d = 30 * time.Second
+		}
+		s := *seed
+		if s == 0 {
+			s = 2
+		}
+		pr, err := runPopulation(populationFlags{
+			flowsSpec: *flows, topoSpec: *topology,
+			rateMbps: *rate, bufPkts: *buffer, epsilon: *epsilon,
+			duration: d, seed: s, guard: guardOpts,
+		}, sink.probe())
+		if err != nil {
+			usagef("starvesim: %v", err)
+		}
+		// Small populations render per-flow rows, so print the population
+		// stats separately; large ones already embed them in Net.String().
+		if len(pr.Net.Flows) <= network.CompactFlowThreshold {
+			fmt.Print(pr.Stats)
+		}
+		fmt.Println(pr.Net)
+		sink.finish(pr.Net)
+		reportGuard(pr.Net)
+		return
 	}
 
 	if *cca1 != "" {

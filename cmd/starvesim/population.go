@@ -1,0 +1,53 @@
+package main
+
+import (
+	"time"
+
+	"starvation/internal/core"
+	"starvation/internal/endpoint"
+	"starvation/internal/guard"
+	"starvation/internal/obs"
+	"starvation/internal/scenario"
+	"starvation/internal/units"
+)
+
+// populationFlags describe population (-flows) mode: an N-flow mixed
+// population over a named topology, evaluated with population starvation
+// statistics.
+type populationFlags struct {
+	flowsSpec string // scenario.ParseFlows clause
+	topoSpec  string // scenario.ParseTopology clause
+	rateMbps  float64
+	bufPkts   int
+	epsilon   float64
+	duration  time.Duration
+	seed      int64
+	guard     *guard.Options
+}
+
+// runPopulation assembles and runs the freeform population experiment.
+func runPopulation(f populationFlags, probe obs.Probe) (*core.PopulationResult, error) {
+	topo, err := scenario.ParseTopology(f.topoSpec, units.Mbps(f.rateMbps), f.bufPkts*endpoint.DefaultMSS)
+	if err != nil {
+		return nil, err
+	}
+	specs, err := scenario.ParseFlows(f.flowsSpec, f.seed, topo)
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.PopulationConfig{
+		Flows:      specs,
+		Links:      topo.Links,
+		Bottleneck: topo.Bottleneck,
+		Seed:       f.seed,
+		Duration:   f.duration,
+		Epsilon:    f.epsilon,
+		Guard:      f.guard,
+		Probe:      probe,
+	}
+	if topo.Links == nil {
+		cfg.Rate = units.Mbps(f.rateMbps)
+		cfg.BufferBytes = f.bufPkts * endpoint.DefaultMSS
+	}
+	return core.RunPopulation(cfg)
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"starvation/internal/guard"
+	"starvation/internal/metrics"
+	"starvation/internal/network"
+	"starvation/internal/obs"
+	"starvation/internal/runner"
+	"starvation/internal/units"
+)
+
+// PopulationConfig describes a population-scale starvation experiment: N
+// flows (typically a mixed-CCA, mixed-RTT population) contending across a
+// topology, evaluated with the population starvation statistics instead of
+// the paper's pairwise two-flow ratio.
+type PopulationConfig struct {
+	// Flows is the population (required, non-empty).
+	Flows []network.FlowSpec
+	// Links is the topology; nil selects the legacy single bottleneck
+	// built from Rate/BufferBytes.
+	Links      []network.LinkSpec
+	Bottleneck int
+	// Rate and BufferBytes configure the single bottleneck when Links is
+	// nil (ignored otherwise).
+	Rate        units.Rate
+	BufferBytes int
+	// Seed selects the realization.
+	Seed int64
+	// Duration is the emulated run length (required, > 0).
+	Duration time.Duration
+	// Epsilon is the starvation threshold (<= 0 selects
+	// metrics.DefaultStarvationEpsilon).
+	Epsilon float64
+	// Guard, Probe and Ctx pass through to network.Config.
+	Guard *guard.Options
+	Probe obs.Probe
+	Ctx   context.Context
+}
+
+// PopulationResult is one realization of a population experiment.
+type PopulationResult struct {
+	Seed  int64
+	Net   *network.Result
+	Stats metrics.PopulationStats
+}
+
+// RunPopulation runs one realization and computes its population
+// starvation statistics.
+func RunPopulation(cfg PopulationConfig) (*PopulationResult, error) {
+	if len(cfg.Flows) == 0 {
+		return nil, fmt.Errorf("population: no flows")
+	}
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("population: duration %v not positive", cfg.Duration)
+	}
+	ncfg := network.Config{
+		Links:      cfg.Links,
+		Bottleneck: cfg.Bottleneck,
+		Seed:       cfg.Seed,
+		Guard:      cfg.Guard,
+		Probe:      cfg.Probe,
+		Ctx:        cfg.Ctx,
+	}
+	if cfg.Links == nil {
+		ncfg.Rate = cfg.Rate
+		ncfg.BufferBytes = cfg.BufferBytes
+	}
+	n, err := network.NewChecked(ncfg, cfg.Flows...)
+	if err != nil {
+		return nil, fmt.Errorf("population: %w", err)
+	}
+	res := n.Run(cfg.Duration)
+	res.Epsilon = cfg.Epsilon
+	return &PopulationResult{Seed: cfg.Seed, Net: res, Stats: res.Population(cfg.Epsilon)}, nil
+}
+
+// PopulationSweep runs the experiment across seeds on a bounded worker
+// pool (jobs = 0 selects GOMAXPROCS) and returns results indexed like
+// seeds. rebuild must return a fresh PopulationConfig per seed — flow
+// specs carry stateful CCA instances and jitter policies, so realizations
+// cannot share them.
+func PopulationSweep(ctx context.Context, seeds []int64, jobs int, rebuild func(seed int64) (PopulationConfig, error)) ([]*PopulationResult, error) {
+	results := make([]*PopulationResult, len(seeds))
+	err := runner.ForEach(ctx, jobs, len(seeds), func(ctx context.Context, i int) error {
+		cfg, err := rebuild(seeds[i])
+		if err != nil {
+			return err
+		}
+		cfg.Seed = seeds[i]
+		cfg.Ctx = ctx
+		results[i], err = RunPopulation(cfg)
+		return err
+	})
+	return results, err
+}

@@ -14,8 +14,14 @@ import (
 // Three equations must balance, one per pipeline segment:
 //
 //	Sent + Duplicated = DroppedPreQueue + HeldPreQueue + Enqueued + DroppedAtQueue
-//	Enqueued          = HeldInQueue + Dequeued
+//	Enqueued          = HeldInQueue + Dequeued + DroppedMidPath
 //	Dequeued          = HeldPostQueue + Delivered
+//
+// On a multi-link path the queue segment spans the whole chain: Enqueued
+// is acceptance into the first bottleneck, Dequeued is departure from the
+// last, HeldInQueue covers every intermediate queue and inter-hop
+// propagation, and DroppedMidPath is drop-tail discards at any bottleneck
+// after the first (zero on the classic single-bottleneck path).
 //
 // Any element that swallows or invents packets without reporting them
 // breaks a segment equation and is caught by Check.
@@ -26,10 +32,11 @@ type FlowLedger struct {
 	Duplicated      int64 // extra copies injected by a duplicator
 	DroppedPreQueue int64 // discarded by loss gates before the bottleneck
 	HeldPreQueue    int64 // inside a reorder element at the horizon
-	Enqueued        int64 // accepted into the bottleneck FIFO
-	DroppedAtQueue  int64 // drop-tail discards
-	HeldInQueue     int64 // queued at the horizon
-	Dequeued        int64 // completed bottleneck serialization
+	Enqueued        int64 // accepted into the first bottleneck FIFO
+	DroppedAtQueue  int64 // drop-tail discards at the first bottleneck
+	HeldInQueue     int64 // queued (any link) or between links at the horizon
+	DroppedMidPath  int64 // drop-tail discards at bottlenecks after the first
+	Dequeued        int64 // completed serialization at the last bottleneck
 	HeldPostQueue   int64 // inside propagation/jitter boxes at the horizon
 	Delivered       int64 // arrived at the receiver endpoint
 }
@@ -44,7 +51,8 @@ func (f *FlowLedger) Check() error {
 		{"Sent", f.Sent}, {"Duplicated", f.Duplicated},
 		{"DroppedPreQueue", f.DroppedPreQueue}, {"HeldPreQueue", f.HeldPreQueue},
 		{"Enqueued", f.Enqueued}, {"DroppedAtQueue", f.DroppedAtQueue},
-		{"HeldInQueue", f.HeldInQueue}, {"Dequeued", f.Dequeued},
+		{"HeldInQueue", f.HeldInQueue}, {"DroppedMidPath", f.DroppedMidPath},
+		{"Dequeued", f.Dequeued},
 		{"HeldPostQueue", f.HeldPostQueue}, {"Delivered", f.Delivered},
 	} {
 		if fd.v < 0 {
@@ -55,9 +63,9 @@ func (f *FlowLedger) Check() error {
 		return fmt.Errorf("flow %s: pre-queue imbalance: sent %d + duplicated %d = %d, but gates+queue account for %d (dropped %d, held %d, enqueued %d, tail-dropped %d)",
 			f.Name, f.Sent, f.Duplicated, in, out, f.DroppedPreQueue, f.HeldPreQueue, f.Enqueued, f.DroppedAtQueue)
 	}
-	if out := f.HeldInQueue + f.Dequeued; f.Enqueued != out {
-		return fmt.Errorf("flow %s: queue imbalance: enqueued %d but held %d + dequeued %d = %d",
-			f.Name, f.Enqueued, f.HeldInQueue, f.Dequeued, out)
+	if out := f.HeldInQueue + f.Dequeued + f.DroppedMidPath; f.Enqueued != out {
+		return fmt.Errorf("flow %s: queue imbalance: enqueued %d but held %d + dequeued %d + mid-path drops %d = %d",
+			f.Name, f.Enqueued, f.HeldInQueue, f.Dequeued, f.DroppedMidPath, out)
 	}
 	if out := f.HeldPostQueue + f.Delivered; f.Dequeued != out {
 		return fmt.Errorf("flow %s: post-queue imbalance: dequeued %d but in-transit %d + delivered %d = %d",
@@ -96,6 +104,7 @@ func (l *Ledger) Check() error {
 		g.Enqueued += f.Enqueued
 		g.DroppedAtQueue += f.DroppedAtQueue
 		g.HeldInQueue += f.HeldInQueue
+		g.DroppedMidPath += f.DroppedMidPath
 		g.Dequeued += f.Dequeued
 		g.HeldPostQueue += f.HeldPostQueue
 		g.Delivered += f.Delivered

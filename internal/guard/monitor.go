@@ -21,12 +21,12 @@ type Monitor struct {
 }
 
 type monFlow struct {
-	tracked      bool
-	stallAfter   time.Duration
-	startAt      time.Duration
-	lastDelivery time.Duration
+	tracked       bool
+	stallAfter    time.Duration
+	startAt       time.Duration
+	lastDelivery  time.Duration
 	everDelivered bool
-	stalled      bool // latched so each stall episode reports once
+	stalled       bool // latched so each stall episode reports once
 
 	delivered, enqueued, dequeued int64
 }

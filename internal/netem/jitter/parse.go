@@ -1,0 +1,76 @@
+package jitter
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+)
+
+// Parse turns a "kind:value" spec into a jitter policy. Kinds: const,
+// uniform, aggregate (period), spike (len/period), burst (Gilbert-Elliott
+// bad-state delay). Policies are stateful: call Parse once per flow and
+// direction, with that flow's own rng (used by the randomized kinds).
+func Parse(spec string, rng *rand.Rand) (Policy, error) {
+	kind, valStr, ok := strings.Cut(spec, ":")
+	if !ok {
+		return nil, fmt.Errorf("jitter spec %q: want kind:value (e.g. uniform:5ms)", spec)
+	}
+	switch kind {
+	case "const":
+		d, err := parseDelay(valStr)
+		if err != nil {
+			return nil, err
+		}
+		return Constant{D: d}, nil
+	case "uniform":
+		d, err := parseDelay(valStr)
+		if err != nil {
+			return nil, err
+		}
+		return &Uniform{Max: d, Rng: rng}, nil
+	case "aggregate":
+		d, err := parseDelay(valStr)
+		if err != nil {
+			return nil, err
+		}
+		return PeriodicAggregation{Period: d}, nil
+	case "spike":
+		lenStr, perStr, ok := strings.Cut(valStr, "/")
+		if !ok {
+			return nil, fmt.Errorf("spike spec: want spike:<len>/<period>")
+		}
+		l, err := parseDelay(lenStr)
+		if err != nil {
+			return nil, err
+		}
+		p, err := parseDelay(perStr)
+		if err != nil {
+			return nil, err
+		}
+		return PeriodicSpike{Period: p, SpikeLen: l}, nil
+	case "burst":
+		d, err := parseDelay(valStr)
+		if err != nil {
+			return nil, err
+		}
+		return &GilbertElliott{
+			PGoodToBad: 0.02, PBadToGood: 0.2, BadDelay: d, Rng: rng,
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown jitter kind %q (const, uniform, aggregate, spike, burst)", kind)
+	}
+}
+
+// parseDelay parses a jitter magnitude: a non-negative duration. Negative
+// delays would violate the Policy contract (delays live in [0, Bound]).
+func parseDelay(s string) (time.Duration, error) {
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, err
+	}
+	if d < 0 {
+		return 0, fmt.Errorf("negative jitter %v", d)
+	}
+	return d, nil
+}

@@ -27,6 +27,15 @@ import (
 type FlowSpec struct {
 	// Name labels the flow in results (defaults to "flowN").
 	Name string
+	// Cohort labels the flow's population cohort (e.g. its CCA name in a
+	// mixed-CCA experiment). Per-cohort aggregation in results and obs
+	// snapshots groups flows by this label; empty means uncohorted.
+	Cohort string
+	// Path lists the link indices (into Config.Links) the flow traverses,
+	// in order. Nil means every link in index order — the single
+	// bottleneck, or the full parking-lot chain. A path may not visit a
+	// link twice.
+	Path []int
 	// Alg is the flow's congestion control algorithm (required).
 	Alg cca.Algorithm
 	// Rm is the flow's minimum propagation RTT (required, > 0).
@@ -68,6 +77,11 @@ func (spec FlowSpec) Validate() error {
 	if spec.StartAt < 0 {
 		return fmt.Errorf("negative StartAt %v", spec.StartAt)
 	}
+	for _, j := range spec.Path {
+		if j < 0 {
+			return fmt.Errorf("negative path link index %d", j)
+		}
+	}
 	if err := spec.Faults.Validate(); err != nil {
 		return fmt.Errorf("faults: %w", err)
 	}
@@ -76,7 +90,21 @@ func (spec FlowSpec) Validate() error {
 
 // Config describes the shared bottleneck and run parameters.
 type Config struct {
-	// Rate is the bottleneck link rate C (required).
+	// Links, when non-nil, describes a multi-link topology (parking-lot
+	// chain, shared-uplink fan-in); flows pick their route with
+	// FlowSpec.Path. When nil, the legacy single-bottleneck fields below
+	// (Rate, BufferBytes, ECNThresholdBytes, Marker, RateSchedule) define
+	// the one shared link, wired exactly as before the topology layer —
+	// fixed-seed realizations are bit-identical. The two styles are
+	// mutually exclusive.
+	Links []LinkSpec
+	// Bottleneck is the index of the link reported as "the" bottleneck:
+	// Result.LinkRate, the queue-depth trace, and rate-sample events read
+	// this link (e.g. the shared uplink of a fan-in). Must be 0 when Links
+	// is nil.
+	Bottleneck int
+
+	// Rate is the bottleneck link rate C (required when Links is nil).
 	Rate units.Rate
 	// BufferBytes is the drop-tail buffer size; 0 means effectively
 	// infinite (the ideal-path queue of Definition 1).
@@ -130,14 +158,35 @@ type Flow struct {
 	dup              *faults.Duplicator
 	rateSamples      int64
 	lastSampledAcked int64
+
+	// path is the resolved link route (never nil after wiring).
+	path []int
+	// hopTransit counts packets currently between two links of the path
+	// (departed one bottleneck, propagating toward the next) — a gauge for
+	// the conservation ledger.
+	hopTransit int64
 }
 
 // Network is a fully wired scenario ready to run.
 type Network struct {
-	Sim   *sim.Simulator
-	Link  *netem.Link
+	Sim *sim.Simulator
+	// Link is the reporting bottleneck (Links[Config.Bottleneck]); kept as
+	// a field because single-bottleneck call sites address it directly.
+	Link *netem.Link
+	// Links are all bottlenecks of the topology in index order; a classic
+	// single-bottleneck network has exactly one.
+	Links []*netem.Link
 	Flows []*Flow
 	cfg   Config
+
+	// linkSpecs are the resolved link descriptions (legacy fields fold
+	// into a one-element slice). nextHop[j][flow] is the link a packet of
+	// the flow enters after departing link j, -1 for the Rm/jitter stage.
+	linkSpecs []LinkSpec
+	nextHop   [][]int32
+	// hopArriveFns[k] delivers a propagated packet into Links[k], bound
+	// once so inter-link forwarding never allocates a closure per packet.
+	hopArriveFns []func(packet.Packet)
 
 	monitor *guard.Monitor
 	report  guard.Report
@@ -146,11 +195,37 @@ type Network struct {
 	// trace sampler never re-binds a method value.
 	sampleFn func()
 
-	QueueTrace trace.Series // queue depth bytes vs time
+	QueueTrace trace.Series // reporting-bottleneck queue depth bytes vs time
+	// LinkQueues holds one queue-depth trace per link, filled only for
+	// multi-link topologies (a single bottleneck keeps just QueueTrace).
+	LinkQueues []trace.Series
 }
 
 // Validate reports the first problem with the bottleneck configuration.
 func (cfg Config) Validate() error {
+	if cfg.SampleEvery < 0 {
+		return fmt.Errorf("negative sample interval %v", cfg.SampleEvery)
+	}
+	if len(cfg.Links) > 0 {
+		// Topology mode: the legacy single-bottleneck fields must stay
+		// zero so a config cannot describe two contradictory networks.
+		if cfg.Rate != 0 || cfg.BufferBytes != 0 || cfg.ECNThresholdBytes != 0 ||
+			cfg.Marker != nil || cfg.RateSchedule != nil {
+			return fmt.Errorf("Links is set: leave the legacy single-bottleneck fields (Rate, BufferBytes, ECNThresholdBytes, Marker, RateSchedule) zero and describe every link in Links")
+		}
+		if cfg.Bottleneck < 0 || cfg.Bottleneck >= len(cfg.Links) {
+			return fmt.Errorf("bottleneck index %d out of range [0, %d)", cfg.Bottleneck, len(cfg.Links))
+		}
+		for i, ls := range cfg.Links {
+			if err := ls.Validate(); err != nil {
+				return fmt.Errorf("link %d: %w", i, err)
+			}
+		}
+		return nil
+	}
+	if cfg.Bottleneck != 0 {
+		return fmt.Errorf("bottleneck index %d without Links", cfg.Bottleneck)
+	}
 	if cfg.Rate <= 0 {
 		return fmt.Errorf("bottleneck rate must be positive")
 	}
@@ -159,9 +234,6 @@ func (cfg Config) Validate() error {
 	}
 	if cfg.ECNThresholdBytes < 0 {
 		return fmt.Errorf("negative ECN threshold %d bytes", cfg.ECNThresholdBytes)
-	}
-	if cfg.SampleEvery < 0 {
-		return fmt.Errorf("negative sample interval %v", cfg.SampleEvery)
 	}
 	if err := cfg.RateSchedule.Validate(); err != nil {
 		return fmt.Errorf("rate schedule: %w", err)
@@ -176,9 +248,13 @@ func NewChecked(cfg Config, specs ...FlowSpec) (*Network, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, fmt.Errorf("network: %w", err)
 	}
+	nLinks := len(cfg.linksOf())
 	for i, spec := range specs {
 		if err := spec.Validate(); err != nil {
 			return nil, fmt.Errorf("network: flow %d %w", i, err)
+		}
+		if err := validatePath(spec.Path, nLinks); err != nil {
+			return nil, fmt.Errorf("network: flow %d: %w", i, err)
 		}
 	}
 	return newNetwork(cfg, specs...), nil
@@ -213,21 +289,47 @@ func newNetwork(cfg Config, specs ...FlowSpec) *Network {
 		n.cfg.Probe = cfg.Probe
 	}
 
-	// The link dispatches delivered packets to the owning flow's
-	// propagation stage.
-	n.Link = netem.NewLink(s, cfg.Rate, cfg.BufferBytes, func(p packet.Packet) {
-		n.Flows[p.Flow].afterLink(p)
-	})
-	if cfg.ECNThresholdBytes > 0 {
-		n.Link.SetECNThreshold(cfg.ECNThresholdBytes)
+	// Each link dispatches departing packets to the owning flow's next
+	// stage: the next link of its path (after the hop propagation delay)
+	// or, past the last link, the flow's Rm/jitter stage.
+	n.linkSpecs = cfg.linksOf()
+	n.Links = make([]*netem.Link, len(n.linkSpecs))
+	n.hopArriveFns = make([]func(packet.Packet), len(n.linkSpecs))
+	n.nextHop = make([][]int32, len(n.linkSpecs))
+	for j := range n.linkSpecs {
+		ls := &n.linkSpecs[j]
+		if ls.Name == "" {
+			ls.Name = fmt.Sprintf("link%d", j)
+		}
+		j := j
+		link := netem.NewLink(s, ls.Rate, ls.BufferBytes, func(p packet.Packet) {
+			n.forward(j, p)
+		})
+		if ls.ECNThresholdBytes > 0 {
+			link.SetECNThreshold(ls.ECNThresholdBytes)
+		}
+		if ls.Marker != nil {
+			link.SetMarker(ls.Marker)
+		}
+		link.SetProbe(cfg.Probe)
+		n.Links[j] = link
+		n.hopArriveFns[j] = func(p packet.Packet) {
+			n.Flows[p.Flow].hopTransit--
+			link.Enqueue(p)
+		}
+		n.nextHop[j] = make([]int32, len(specs))
 	}
-	if cfg.Marker != nil {
-		n.Link.SetMarker(cfg.Marker)
+	n.Link = n.Links[cfg.Bottleneck]
+	for j := range n.linkSpecs {
+		if sched := n.linkSpecs[j].RateSchedule; sched != nil {
+			sched.Apply(s, n.Links[j])
+		}
 	}
-	n.Link.SetProbe(cfg.Probe)
-
-	if cfg.RateSchedule != nil {
-		cfg.RateSchedule.Apply(s, n.Link)
+	if len(n.Links) > 1 {
+		n.LinkQueues = make([]trace.Series, len(n.Links))
+		for j := range n.LinkQueues {
+			n.LinkQueues[j].Name = n.linkSpecs[j].Name + "_queue_bytes"
+		}
 	}
 
 	for i, spec := range specs {
@@ -243,7 +345,14 @@ func newNetwork(cfg Config, specs ...FlowSpec) *Network {
 		if spec.AckJitter == nil {
 			spec.AckJitter = jitter.None{}
 		}
-		f := &Flow{Spec: spec, ID: packet.FlowID(i)}
+		f := &Flow{Spec: spec, ID: packet.FlowID(i), path: pathOf(spec, len(n.Links))}
+		for pos, j := range f.path {
+			next := int32(-1)
+			if pos+1 < len(f.path) {
+				next = int32(f.path[pos+1])
+			}
+			n.nextHop[j][i] = next
+		}
 		f.RTTTrace.Name = spec.Name + "_rtt_s"
 		f.RateTrace.Name = spec.Name + "_rate_bps"
 		f.CwndTrace.Name = spec.Name + "_cwnd_bytes"
@@ -259,8 +368,9 @@ func newNetwork(cfg Config, specs ...FlowSpec) *Network {
 		f.FwdBox = netem.NewDelayBox(s, spec.FwdJitter, f.Receiver.OnPacket)
 
 		// Forward path head, built back to front so packets traverse
-		// sender -> duplicator -> reorderer -> GE gate -> loss gate -> link.
-		var intoLink netem.PacketHandler = n.Link.Enqueue
+		// sender -> duplicator -> reorderer -> GE gate -> loss gate ->
+		// first link of the flow's path.
+		var intoLink netem.PacketHandler = n.Links[f.path[0]].Enqueue
 		if spec.LossProb > 0 {
 			// Each gate gets an independent generator derived from the
 			// run seed so adding flows never perturbs other flows' loss.
@@ -307,6 +417,26 @@ func newNetwork(cfg Config, specs ...FlowSpec) *Network {
 	return n
 }
 
+// forward routes a packet departing link j: into the next link of the
+// flow's path (after the hop propagation delay), or — past the last link —
+// into the flow's Rm/jitter stage. On the classic single-bottleneck path
+// this reduces to afterLink with no extra events scheduled, so legacy
+// realizations are unchanged.
+func (n *Network) forward(j int, p packet.Packet) {
+	next := n.nextHop[j][p.Flow]
+	if next < 0 {
+		n.Flows[p.Flow].afterLink(p)
+		return
+	}
+	p.Hop++
+	if d := n.linkSpecs[j].HopDelay; d > 0 {
+		n.Flows[p.Flow].hopTransit++
+		n.Sim.AfterPacket(d, n.hopArriveFns[next], p)
+		return
+	}
+	n.Links[next].Enqueue(p)
+}
+
 // afterLink routes a packet leaving the bottleneck through the flow's
 // propagation delay and jitter box.
 func (f *Flow) afterLink(p packet.Packet) {
@@ -331,6 +461,9 @@ func (n *Network) RunWindow(d, from, to time.Duration) *Result {
 	// here; it keeps amortized appends.)
 	samples := int(d/n.cfg.SampleEvery) + 2
 	n.QueueTrace.Reserve(samples)
+	for j := range n.LinkQueues {
+		n.LinkQueues[j].Reserve(samples)
+	}
 	for _, f := range n.Flows {
 		f.RateTrace.Reserve(samples)
 		f.CwndTrace.Reserve(samples)
@@ -381,6 +514,9 @@ func (n *Network) sample() {
 	now := n.Sim.Now()
 	depth := n.Link.QueuedBytes()
 	n.QueueTrace.Add(now, float64(depth))
+	for j := range n.LinkQueues {
+		n.LinkQueues[j].Add(now, float64(n.Links[j].QueuedBytes()))
+	}
 	for _, f := range n.Flows {
 		acked := f.Sender.DeliveredBytes
 		delta := acked - f.lastSampledAcked

@@ -37,12 +37,28 @@ type FaultCounters struct {
 
 // FlowResult is the per-flow outcome of a run.
 type FlowResult struct {
-	Name   string
+	Name string
+	// Cohort is the flow's population label (empty when uncohorted).
+	Cohort string
 	Stat   metrics.FlowStat
 	Faults FaultCounters
 	RTT    *trace.Series
 	Rate   *trace.Series
 	Cwnd   *trace.Series
+}
+
+// LinkResult is the per-link outcome of a run: the resolved spec identity
+// plus the link's own counters and (for multi-link topologies) its queue
+// trace.
+type LinkResult struct {
+	Name      string
+	Rate      units.Rate
+	Dropped   int64
+	Delivered int64
+	MaxQueue  int
+	// Queue is the link's sampled depth trace; nil on the classic
+	// single-bottleneck path, where Result.QueueTrace already carries it.
+	Queue *trace.Series
 }
 
 // Result is the outcome of a scenario run.
@@ -51,11 +67,17 @@ type Result struct {
 	WindowFrom time.Duration
 	WindowTo   time.Duration
 	Flows      []FlowResult
+	// Links describes every bottleneck of the topology in index order (a
+	// single-element slice on the classic path).
+	Links      []LinkResult
 	QueueTrace *trace.Series
-	LinkRate   units.Rate
-	Dropped    int64
-	Delivered  int64
-	MaxQueue   int
+	// LinkRate, Dropped, Delivered, and MaxQueue report the configured
+	// bottleneck link (Config.Bottleneck) — except Dropped, which sums
+	// drop-tail discards across every link of the topology.
+	LinkRate  units.Rate
+	Dropped   int64
+	Delivered int64
+	MaxQueue  int
 	// Obs is the end-of-run registry snapshot: per-flow and global
 	// packet-lifecycle counters plus event-loop gauges. It is assembled
 	// from element counters on every run, probe installed or not.
@@ -68,6 +90,10 @@ type Result struct {
 	// set: progress-sweep violations, end-of-run conservation and counter
 	// checks, and the deadline error if the run was cut short.
 	Guard *guard.Report
+	// Epsilon is the starvation threshold String() passes to Population()
+	// when rendering large runs (<= 0 selects the metrics default). Set
+	// by core.RunPopulation so a -eps override survives into the report.
+	Epsilon float64
 }
 
 func (n *Network) collect(d, from, to time.Duration) *Result {
@@ -77,10 +103,23 @@ func (n *Network) collect(d, from, to time.Duration) *Result {
 		WindowTo:   to,
 		Flows:      make([]FlowResult, 0, len(n.Flows)),
 		QueueTrace: &n.QueueTrace,
-		LinkRate:   n.cfg.Rate,
-		Dropped:    n.Link.Dropped,
+		LinkRate:   n.linkSpecs[n.cfg.Bottleneck].Rate,
 		Delivered:  n.Link.Delivered,
 		MaxQueue:   n.Link.MaxQueue,
+	}
+	for j, link := range n.Links {
+		lr := LinkResult{
+			Name:      n.linkSpecs[j].Name,
+			Rate:      n.linkSpecs[j].Rate,
+			Dropped:   link.Dropped,
+			Delivered: link.Delivered,
+			MaxQueue:  link.MaxQueue,
+		}
+		if n.LinkQueues != nil {
+			lr.Queue = &n.LinkQueues[j]
+		}
+		res.Links = append(res.Links, lr)
+		res.Dropped += link.Dropped
 	}
 	for _, f := range n.Flows {
 		st := metrics.FlowStat{
@@ -105,11 +144,12 @@ func (n *Network) collect(d, from, to time.Duration) *Result {
 		}
 		st.SteadyThpt = windowThroughput(&f.RateTrace, from, to)
 		fr := FlowResult{
-			Name: f.Spec.Name,
-			Stat: st,
-			RTT:  &f.RTTTrace,
-			Rate: &f.RateTrace,
-			Cwnd: &f.CwndTrace,
+			Name:   f.Spec.Name,
+			Cohort: f.Spec.Cohort,
+			Stat:   st,
+			RTT:    &f.RTTTrace,
+			Rate:   &f.RateTrace,
+			Cwnd:   &f.CwndTrace,
 		}
 		if f.gate != nil {
 			fr.Faults.GatePassed = f.gate.Passed
@@ -155,16 +195,24 @@ func (n *Network) collect(d, from, to time.Duration) *Result {
 func (n *Network) ledger() guard.Ledger {
 	var lg guard.Ledger
 	for _, f := range n.Flows {
-		ls := n.Link.FlowStats(f.ID)
+		first := n.Links[f.path[0]].FlowStats(f.ID)
+		last := n.Links[f.path[len(f.path)-1]].FlowStats(f.ID)
 		fl := guard.FlowLedger{
 			Name:           f.Spec.Name,
 			Sent:           f.Sender.SentPackets,
-			Enqueued:       ls.Enqueued,
-			DroppedAtQueue: ls.Dropped,
-			HeldInQueue:    ls.Holding,
-			Dequeued:       ls.Delivered,
+			Enqueued:       first.Enqueued,
+			DroppedAtQueue: first.Dropped,
+			HeldInQueue:    f.hopTransit,
+			Dequeued:       last.Delivered,
 			HeldPostQueue:  f.FwdBox.InTransit(),
 			Delivered:      f.Receiver.Received,
+		}
+		for pos, j := range f.path {
+			ls := n.Links[j].FlowStats(f.ID)
+			fl.HeldInQueue += ls.Holding
+			if pos > 0 {
+				fl.DroppedMidPath += ls.Dropped
+			}
 		}
 		if f.gate != nil {
 			fl.DroppedPreQueue += f.gate.Dropped
@@ -190,24 +238,30 @@ func (n *Network) ledger() guard.Ledger {
 func (n *Network) snapshot() obs.Snapshot {
 	var snap obs.Snapshot
 	for _, f := range n.Flows {
-		ls := n.Link.FlowStats(f.ID)
 		fc := snap.Flow(f.ID)
 		*fc = obs.FlowCounters{
 			Name:             f.Spec.Name,
+			Cohort:           f.Spec.Cohort,
 			PacketsSent:      f.Sender.SentPackets,
-			PacketsEnqueued:  ls.Enqueued,
-			PacketsDropped:   ls.Dropped,
-			PacketsMarked:    ls.Marked,
 			PacketsDelivered: f.Receiver.Received,
 			Retransmits:      f.Sender.RetxPackets,
 			AcksReceived:     f.Sender.AcksReceived,
 			BytesSent:        f.Sender.SentBytes,
-			BytesEnqueued:    ls.EnqueuedBytes,
 			BytesAcked:       f.Sender.AckedBytes,
 			BytesDelivered:   f.Receiver.DeliveredBytes(),
 			CwndUpdates:      f.Sender.CwndUpdates,
 			RateSamples:      f.rateSamples,
-			PacketsDequeued:  ls.Delivered,
+		}
+		// Queue-level counters sum over every link of the flow's path
+		// (exactly what an event-fed registry accumulates: one enqueue/
+		// dequeue event per hop).
+		for _, j := range f.path {
+			ls := n.Links[j].FlowStats(f.ID)
+			fc.PacketsEnqueued += ls.Enqueued
+			fc.PacketsDropped += ls.Dropped
+			fc.PacketsMarked += ls.Marked
+			fc.BytesEnqueued += ls.EnqueuedBytes
+			fc.PacketsDequeued += ls.Delivered
 		}
 		if f.gate != nil {
 			fc.PacketsDropped += f.gate.Dropped
@@ -230,12 +284,16 @@ func (n *Network) snapshot() obs.Snapshot {
 		g.PacketsDuplicated += fc.PacketsDuplicated
 	}
 	g := &snap.Global
-	g.PacketsEnqueued = n.Link.EnqueuedPkts
-	g.PacketsDequeued = n.Link.Delivered
-	g.PacketsMarked = n.Link.Marked
-	g.BytesEnqueued = n.Link.EnqueuedBytes
-	g.MaxQueueBytes = int64(n.Link.MaxQueue)
-	g.LinkRateChanges = n.Link.RateChanges
+	for _, link := range n.Links {
+		g.PacketsEnqueued += link.EnqueuedPkts
+		g.PacketsDequeued += link.Delivered
+		g.PacketsMarked += link.Marked
+		g.BytesEnqueued += link.EnqueuedBytes
+		if q := int64(link.MaxQueue); q > g.MaxQueueBytes {
+			g.MaxQueueBytes = q
+		}
+		g.LinkRateChanges += link.RateChanges
+	}
 	st := n.Sim.Stats()
 	g.SimEventsScheduled = st.Scheduled
 	g.SimEventsFired = st.Fired
@@ -262,6 +320,23 @@ func (r *Result) Throughputs() []float64 {
 	return out
 }
 
+// Cohorts returns the per-flow cohort labels, indexed like Flows.
+func (r *Result) Cohorts() []string {
+	out := make([]string, len(r.Flows))
+	for i, f := range r.Flows {
+		out[i] = f.Cohort
+	}
+	return out
+}
+
+// Population computes the population starvation statistics of the run:
+// starvation fraction under the ε-threshold (eps <= 0 selects
+// metrics.DefaultStarvationEpsilon), the normalized throughput-ratio
+// distribution, and the per-cohort breakdown.
+func (r *Result) Population(eps float64) metrics.PopulationStats {
+	return metrics.Population(r.Throughputs(), r.Cohorts(), float64(r.LinkRate), eps)
+}
+
 // Ratio returns the steady-state throughput ratio (fast over slow flow).
 func (r *Result) Ratio() float64 { return metrics.Ratio(r.Throughputs()) }
 
@@ -281,11 +356,31 @@ func (r *Result) Utilization() float64 {
 	return sum / float64(r.LinkRate)
 }
 
-// String renders a compact result table.
+// CompactFlowThreshold is the flow count above which String switches from
+// per-flow rows to the population/cohort summary: a 1000-flow run reports
+// a handful of cohort rows and the starvation distribution instead of a
+// thousand-line table.
+const CompactFlowThreshold = 12
+
+// String renders a compact result table: per-flow rows for small runs,
+// the population summary for large ones.
 func (r *Result) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "link %v  run %v  window [%v, %v)  drops %d  maxqueue %dB\n",
 		r.LinkRate, r.Duration, r.WindowFrom, r.WindowTo, r.Dropped, r.MaxQueue)
+	if len(r.Links) > 1 {
+		fmt.Fprintf(&b, "%-12s %14s %10s %12s %10s\n",
+			"link", "rate", "drops", "delivered", "maxqueue")
+		for _, l := range r.Links {
+			fmt.Fprintf(&b, "%-12s %14s %10d %12d %9dB\n",
+				l.Name, l.Rate, l.Dropped, l.Delivered, l.MaxQueue)
+		}
+	}
+	if len(r.Flows) > CompactFlowThreshold {
+		b.WriteString(r.Population(r.Epsilon).String())
+		fmt.Fprintf(&b, "ratio %.2f  jain %.3f  utilization %.3f\n", r.Ratio(), r.Jain(), r.Utilization())
+		return b.String()
+	}
 	fmt.Fprintf(&b, "%-12s %14s %14s %10s %10s %10s %8s\n",
 		"flow", "thpt(steady)", "thpt(def2)", "rtt_min", "rtt_max", "rtt_mean", "losses")
 	for _, f := range r.Flows {

@@ -1,0 +1,51 @@
+package network
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"starvation/internal/metrics"
+	"starvation/internal/units"
+)
+
+// syntheticResult builds a Result with n flows, enough populated for
+// String()'s population rendering (throughputs, cohorts, one link).
+func syntheticResult(n int) *Result {
+	r := &Result{
+		Duration: 10 * time.Second,
+		WindowTo: 10 * time.Second,
+		LinkRate: units.Mbps(float64(n)), // fair share = 1 Mbit/s
+		Links:    []LinkResult{{Name: "link", Rate: units.Mbps(float64(n))}},
+	}
+	for i := 0; i < n; i++ {
+		r.Flows = append(r.Flows, FlowResult{
+			Name:   "f",
+			Cohort: "c",
+			Stat:   metrics.FlowStat{SteadyThpt: units.Mbps(1)},
+		})
+	}
+	return r
+}
+
+func TestStringRenderingThreshold(t *testing.T) {
+	small := syntheticResult(CompactFlowThreshold)
+	if s := small.String(); !strings.Contains(s, "rtt_min") || strings.Contains(s, "population n=") {
+		t.Errorf("at the threshold String() should render per-flow rows:\n%s", s)
+	}
+	big := syntheticResult(CompactFlowThreshold + 1)
+	if s := big.String(); !strings.Contains(s, "population n=13") || strings.Contains(s, "rtt_min") {
+		t.Errorf("above the threshold String() should render population stats:\n%s", s)
+	}
+}
+
+func TestStringHonorsEpsilon(t *testing.T) {
+	r := syntheticResult(CompactFlowThreshold + 1)
+	if s := r.String(); !strings.Contains(s, "eps=0.1") {
+		t.Errorf("zero Epsilon should render the default threshold:\n%s", s)
+	}
+	r.Epsilon = 0.25
+	if s := r.String(); !strings.Contains(s, "eps=0.25") {
+		t.Errorf("Result.Epsilon should reach the population rendering:\n%s", s)
+	}
+}

@@ -21,6 +21,7 @@ type jsonEvent struct {
 	Queue int    `json:"queue"`
 	Retx  bool   `json:"retx,omitempty"`
 	Dup   bool   `json:"dup,omitempty"`
+	Hop   uint8  `json:"hop,omitempty"`
 }
 
 // JSONLWriter is a Probe that streams events as one JSON object per line,
@@ -52,6 +53,7 @@ func (jw *JSONLWriter) Emit(e Event) {
 		Queue: e.Queue,
 		Retx:  e.Retx,
 		Dup:   e.Dup,
+		Hop:   e.Hop,
 	})
 	if err != nil {
 		jw.err = err
@@ -105,6 +107,7 @@ func ReadJSONL(r io.Reader) ([]Event, error) {
 			Queue: je.Queue,
 			Retx:  je.Retx,
 			Dup:   je.Dup,
+			Hop:   je.Hop,
 		})
 	}
 	if err := sc.Err(); err != nil {

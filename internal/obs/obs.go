@@ -116,6 +116,11 @@ type Event struct {
 	// element. Registries count such enqueues and drops into queue-level
 	// counters but not into PacketsSent, which tracks sender transmissions.
 	Dup bool
+	// Hop is the packet's position on a multi-link path when the event was
+	// emitted: 0 at the first bottleneck, 1 after it, and so on. Registries
+	// count hop > 0 enqueues and drops into queue-level counters but not
+	// into PacketsSent (the packet was transmitted once, at hop 0).
+	Hop uint8
 }
 
 // Probe consumes the event stream. Implementations must be cheap: probes

@@ -62,6 +62,45 @@ func WritePrometheus(w io.Writer, snap *Snapshot) error {
 		}
 	}
 
+	// Cohort-level aggregation: emitted only when at least one flow carries
+	// a cohort label, so uncohorted (classic 2-flow) exports are unchanged.
+	// Population runs read starvation structure from these few series
+	// instead of thousands of per-flow samples.
+	if cohorts := snap.Cohorts(); len(cohorts) > 1 || (len(cohorts) == 1 && cohorts[0].Cohort != "") {
+		perCohort := []struct {
+			name, help string
+			value      func(*CohortCounters) int64
+		}{
+			{"starvesim_cohort_flows", "Flows aggregated under the cohort label.",
+				func(c *CohortCounters) int64 { return int64(c.Flows) }},
+			{"starvesim_cohort_packets_sent_total", "Segments transmitted by the cohort's senders.",
+				func(c *CohortCounters) int64 { return c.Sum.PacketsSent }},
+			{"starvesim_cohort_packets_dropped_total", "Segments of the cohort discarded anywhere on the path.",
+				func(c *CohortCounters) int64 { return c.Sum.PacketsDropped }},
+			{"starvesim_cohort_packets_delivered_total", "Segments of the cohort that reached their receivers.",
+				func(c *CohortCounters) int64 { return c.Sum.PacketsDelivered }},
+			{"starvesim_cohort_bytes_acked_total", "Payload bytes cumulatively acknowledged across the cohort.",
+				func(c *CohortCounters) int64 { return c.Sum.BytesAcked }},
+			{"starvesim_cohort_retransmits_total", "Retransmitted segments across the cohort.",
+				func(c *CohortCounters) int64 { return c.Sum.Retransmits }},
+		}
+		for _, m := range perCohort {
+			if err := header(w, m.name, m.help, "counter"); err != nil {
+				return err
+			}
+			for i := range cohorts {
+				c := &cohorts[i]
+				label := c.Cohort
+				if label == "" {
+					label = "uncohorted"
+				}
+				if _, err := fmt.Fprintf(w, "%s{cohort=%q} %d\n", m.name, label, m.value(c)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
 	globals := []struct {
 		name, help, typ string
 		value           int64

@@ -9,6 +9,10 @@ import "starvation/internal/packet"
 // counters agree exactly.
 type FlowCounters struct {
 	Name string `json:"name"`
+	// Cohort labels the flow's population cohort (e.g. its CCA name in a
+	// mixed-CCA experiment). It travels via the emulator like Name, not via
+	// events; Snapshot.Cohorts aggregates per-flow counters under it.
+	Cohort string `json:"cohort,omitempty"`
 
 	PacketsSent      int64 `json:"packets_sent"`
 	PacketsEnqueued  int64 `json:"packets_enqueued"`
@@ -96,7 +100,7 @@ func (r *Registry) Emit(e Event) {
 	f := r.snap.Flow(e.Flow)
 	switch e.Type {
 	case EvEnqueue:
-		if !e.Dup {
+		if !e.Dup && e.Hop == 0 {
 			f.PacketsSent++
 			f.BytesSent += int64(e.Bytes)
 			if e.Retx {
@@ -111,7 +115,7 @@ func (r *Registry) Emit(e Event) {
 			g.MaxQueueBytes = q
 		}
 	case EvDrop:
-		if !e.Dup {
+		if !e.Dup && e.Hop == 0 {
 			f.PacketsSent++
 			f.BytesSent += int64(e.Bytes)
 			if e.Retx {

@@ -29,6 +29,11 @@ type Packet struct {
 	// ACKs them like any out-of-window arrival) but are excluded from
 	// sent-packet accounting so conservation checks still balance.
 	Dup bool
+	// Hop counts the bottleneck links the packet has already departed on a
+	// multi-link path (0 at the first link). Lifecycle events emitted past
+	// the first hop carry it so registries do not re-count the packet as a
+	// fresh sender transmission.
+	Hop uint8
 }
 
 // End returns the byte offset just past this segment.

@@ -1,0 +1,98 @@
+package scenario
+
+import (
+	"testing"
+
+	"starvation/internal/endpoint"
+	"starvation/internal/network"
+	"starvation/internal/units"
+)
+
+// FuzzParseFlows throws arbitrary clause strings at the -flows/-topology
+// parsers and checks the contract: no panic, and everything accepted is
+// actually runnable — population within the cap, every spec valid, and
+// valid against the parsed topology (paths in range, no repeats), checked
+// with the same validation the network constructor applies.
+func FuzzParseFlows(f *testing.F) {
+	f.Add("vegas", "single")
+	f.Add("vegas*8;reno*8", "single")
+	f.Add("vegas*8:rm=80ms,cohort=slow;copa:loss=0.01", "")
+	f.Add("reno*4:start=1s,stagger=100ms,jitter=uniform:5ms", "parkinglot:3")
+	f.Add("vegas*6:cohort=long;reno*2:path=1,cohort=cross", "parkinglot:3")
+	f.Add("vegas*8:ackagg=5ms;bbr*8", "fanin:4")
+	f.Add("vegas:path=0/2", "fanin:2")
+	f.Add("vegas*4096", "single")
+	f.Add("vegas:rm=-1s", "single")
+	f.Add("vegas:jitter=spike:2ms/50ms", "fanin:1")
+	f.Fuzz(func(t *testing.T, flowsSpec, topoSpec string) {
+		topo, err := ParseTopology(topoSpec, units.Mbps(10), 16*endpoint.DefaultMSS)
+		if err != nil {
+			return
+		}
+		if len(topo.Links) > maxTopologyLinks {
+			t.Fatalf("topology %q: %d links above cap", topoSpec, len(topo.Links))
+		}
+		specs, err := ParseFlows(flowsSpec, 1, topo)
+		if err != nil {
+			return
+		}
+		if len(specs) == 0 || len(specs) > MaxPopulationFlows {
+			t.Fatalf("flows %q: accepted %d flows", flowsSpec, len(specs))
+		}
+		nLinks := len(topo.Links)
+		if nLinks == 0 {
+			nLinks = 1 // legacy single bottleneck
+		}
+		for i, s := range specs {
+			if err := s.Validate(); err != nil {
+				t.Fatalf("flows %q: accepted spec %d yet invalid: %v", flowsSpec, i, err)
+			}
+			if s.Alg == nil {
+				t.Fatalf("flows %q: spec %d has no algorithm", flowsSpec, i)
+			}
+			// path= link indices are topology-dependent, so out-of-range
+			// values surface at network construction, not parse time —
+			// but the parser must never emit a malformed path itself
+			// (negative or repeated indices).
+			for _, j := range s.Path {
+				if j < 0 {
+					t.Fatalf("flows %q: spec %d has negative link index %d", flowsSpec, i, j)
+				}
+			}
+			if s.Path == nil {
+				continue
+			}
+			seen := map[int]bool{}
+			for _, j := range s.Path {
+				if seen[j] {
+					t.Fatalf("flows %q: spec %d path %v revisits link %d", flowsSpec, i, s.Path, j)
+				}
+				seen[j] = true
+			}
+		}
+		// Small accepted populations must construct: run the network
+		// constructor's own validation end to end (bounded so the fuzzer
+		// does not spend its budget building 4096-flow networks).
+		if len(specs) <= 64 && pathsInRange(specs, nLinks) {
+			cfg := network.Config{Links: topo.Links, Bottleneck: topo.Bottleneck}
+			if topo.Links == nil {
+				cfg.Rate = units.Mbps(10)
+				cfg.BufferBytes = 16 * endpoint.DefaultMSS
+			}
+			if _, err := network.NewChecked(cfg, specs...); err != nil {
+				t.Fatalf("flows %q / topo %q: parsed but unconstructable: %v", flowsSpec, topoSpec, err)
+			}
+		}
+	})
+}
+
+func pathsInRange(specs []network.FlowSpec, nLinks int) bool {
+	for _, s := range specs {
+		for _, j := range s.Path {
+			if j >= nLinks {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -111,6 +111,11 @@ var Registry = map[string]func(Opts) *Result{
 	"quickstart-vegas": QuickstartVegas,
 	"ecn-fairness":     ECNAvoidsStarvation,
 	"algo1-ablation":   Algo1Ablation,
+	"pop-mixed":        PopulationMixed,
+	"pop-rtt":          PopulationRTT,
+	"pop-parkinglot":   PopulationParkingLot,
+	"pop-fanin":        PopulationFanIn,
+	"pop-mixed-500":    PopulationMixed500,
 }
 
 // Names returns the scenario IDs sorted.
