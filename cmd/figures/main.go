@@ -38,6 +38,7 @@ import (
 	"starvation/internal/ccac"
 	"starvation/internal/core"
 	"starvation/internal/guard"
+	"starvation/internal/network"
 	"starvation/internal/obs"
 	"starvation/internal/prof"
 	"starvation/internal/runner"
@@ -181,6 +182,7 @@ var sections = []batchSection{
 	{"F7", fig7},
 	{"T5", tables5},
 	{"T6.3", table63},
+	{"X-EPISODES", episodes},
 	{"X-A1-ablation", ablation},
 	{"X-ECN", ecnSection},
 	{"X-T2", theorem2},
@@ -491,6 +493,66 @@ func table63(ctx context.Context, r *reporter) {
 		res.Observables["ratio"], res.Observables["s_bound"], res.Observables["utilization"])
 	veg := scenario.VegasUnderJitter(scenario.Opts{Duration: dur(120*time.Second, 40*time.Second), Ctx: ctx})
 	r.row("- Vegas in the same setting: ratio %.1f (starves)", veg.Observables["ratio"])
+}
+
+// episodes regenerates the T5.4d flight-recorder correlation: the bursty
+// Allegro flow's windowed delivery rate against the Gilbert–Elliott
+// fault-state timeline, with the online detector's episode onsets
+// overlaid. The CSV carries one row per sampler window so the
+// burst→outage→episode causality is plottable directly.
+func episodes(ctx context.Context, r *reporter) {
+	r.section("X-EPISODES", "starvation episodes vs loss bursts (T5.4d flight recorder)")
+	res := scenario.AllegroBurstLoss(scenario.Opts{
+		Duration:  dur(0, 30*time.Second),
+		Ctx:       ctx,
+		Telemetry: &network.TelemetryConfig{},
+	})
+	tr := res.Net.Telemetry
+	r.row("- %d episodes over %d windows of %v (eps %.2f of fair %v)",
+		len(tr.Episodes), tr.Flows[0].WindowsClosed, tr.Window,
+		tr.Epsilon, units.Rate(tr.FairShare))
+	for _, ep := range tr.Episodes {
+		fault := "-"
+		if ep.FaultAtOnset {
+			fault = "loss burst at onset"
+		}
+		r.row("- %s: onset %v, %v, severity %.2f, %d bursts while starved (%s)",
+			ep.Name, ep.Onset, ep.Duration(), ep.Severity, ep.FaultBursts, fault)
+	}
+
+	bursty := &tr.Flows[0]
+	starved := func(t time.Duration) int {
+		for _, ep := range tr.Episodes {
+			if ep.Flow == 0 && t >= ep.Onset && t < ep.End {
+				return 1
+			}
+		}
+		return 0
+	}
+	r.save("t5_4d_episode_timeline.csv", func(w io.Writer) error {
+		if _, err := fmt.Fprintln(w, "t_s,rate_mbps,fault_bad,fault_bursts,starved"); err != nil {
+			return err
+		}
+		for _, win := range bursty.Windows {
+			bad := 0
+			if win.FaultBad {
+				bad = 1
+			}
+			if _, err := fmt.Fprintf(w, "%.3f,%.3f,%d,%d,%d\n",
+				win.Start.Seconds(), win.RateBps(tr.Window)/1e6,
+				bad, win.FaultBursts, starved(win.Start)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	var rate trace.Series
+	rate.Name = "bursty_windowed_mbps"
+	rate.Reserve(len(bursty.Windows))
+	for _, win := range bursty.Windows {
+		rate.Add(win.Start, win.RateBps(tr.Window)/1e6)
+	}
+	r.print(trace.ASCIIPlot(&rate, 72, 10, "bursty windowed rate (Mbit/s)"))
 }
 
 // ablation runs the §6.3 design-choice ablation for Algorithm 1.

@@ -44,7 +44,8 @@ type customFlags struct {
 	ackAggregate time.Duration // flow 1 ACK aggregation period
 	duration     time.Duration
 	seed         int64
-	guard        *guard.Options // nil disables the run-guard layer
+	guard        *guard.Options           // nil disables the run-guard layer
+	telemetry    *network.TelemetryConfig // nil disables the flight recorder
 }
 
 // runCustom assembles and runs the freeform scenario, streaming events to
@@ -105,6 +106,7 @@ func runCustom(f customFlags, probe obs.Probe) (*network.Result, error) {
 		Guard:        f.guard,
 		Seed:         f.seed,
 		Probe:        probe,
+		Telemetry:    f.telemetry,
 	}
 	// NewChecked, not New: a malformed CLI config is a usage error the
 	// caller reports in one line (exit 2), not a panic trace.

@@ -5,6 +5,8 @@
 //	starvesim -list
 //	starvesim -scenario bbr-two [-seed 2] [-duration 60s]
 //	starvesim -scenario bbr-two -trace events.jsonl -metrics metrics.txt
+//	starvesim -scenario allegro-burst -telemetry
+//	starvesim -scenario allegro-burst -watch 1s -trace events.jsonl
 //	starvesim -scenario all [-jobs 4]
 //	starvesim -scenario bbr-two -sweep 10 [-sweep-jobs 4]
 //	starvesim -flows "vegas*8;reno*8:rm=120ms" -rate 48 -buffer 128
@@ -16,6 +18,14 @@
 // JSONL for offline analysis; -metrics writes the end-of-run counters
 // registry in Prometheus text format. Both observe a single scenario:
 // combine them with one -scenario name (or -cca), not "all".
+//
+// -telemetry turns on the flight recorder: windowed per-flow series, the
+// online starvation-episode detector, and run-phase spans. The result
+// gains an episode timeline table, and -metrics gains the telemetry
+// families. -watch <interval> additionally renders a live one-line view
+// to stderr as the run progresses (and flushes -trace each tick); it
+// implies -telemetry. The recorder only observes: fixed-seed runs
+// produce bit-identical realizations with it on or off.
 //
 // -jobs runs the scenarios of "-scenario all" in parallel; output stays
 // in sorted scenario order regardless of completion order. -sweep N runs
@@ -70,6 +80,8 @@ func main() {
 
 		tracePath   = flag.String("trace", "", "write packet-lifecycle events as JSONL to this file")
 		metricsPath = flag.String("metrics", "", "write the counters registry in Prometheus text format to this file")
+		telemetry   = flag.Bool("telemetry", false, "enable the flight recorder: windowed per-flow series, online starvation-episode detection, run-phase spans (appends an episode table to the result; adds episode/series metrics to -metrics)")
+		watchEvery  = flag.Duration("watch", 0, "render a live telemetry view to stderr every interval, e.g. -watch 1s (implies -telemetry; flushes -trace periodically)")
 
 		guardOn  = flag.Bool("guard", false, "enable the run-guard layer (stall watchdog, conservation checks)")
 		deadline = flag.Duration("deadline", 0, "wall-clock budget per run; exceeding it halts the run (implies -guard)")
@@ -107,9 +119,13 @@ func main() {
 	stopProfiles = stop
 	defer stopProfiles()
 
-	observing := *tracePath != "" || *metricsPath != ""
+	observing := *tracePath != "" || *metricsPath != "" || *watchEvery > 0
 	if observing && *name == "all" {
-		fatalf("starvesim: -trace/-metrics observe one scenario; run them with a single -scenario name")
+		fatalf("starvesim: -trace/-metrics/-watch observe one scenario; run them with a single -scenario name")
+	}
+	var tcfg *network.TelemetryConfig
+	if *telemetry || *watchEvery > 0 {
+		tcfg = &network.TelemetryConfig{}
 	}
 	if *name != "" && *name != "all" && *cca1 == "" {
 		// Validate before opening any output file so a typo'd scenario
@@ -125,6 +141,16 @@ func main() {
 	sink, err := newObsSink(*tracePath, *metricsPath)
 	if err != nil {
 		fatalf("starvesim: %v", err)
+	}
+
+	// -watch interposes the live view between the run and the sink: the
+	// simulation emits through the shared lock, the render goroutine
+	// reads (and flushes the trace) under it.
+	runProbe := sink.probe()
+	var watch *watcher
+	if *watchEvery > 0 {
+		watch = startWatch(*watchEvery, runProbe, sink.flush)
+		runProbe = watch.sync
 	}
 
 	guardOpts := guardOptions(*guardOn, *deadline)
@@ -147,8 +173,8 @@ func main() {
 		pr, err := runPopulation(populationFlags{
 			flowsSpec: *flows, topoSpec: *topology,
 			rateMbps: *rate, bufPkts: *buffer, epsilon: *epsilon,
-			duration: d, seed: s, guard: guardOpts,
-		}, sink.probe())
+			duration: d, seed: s, guard: guardOpts, telemetry: tcfg,
+		}, runProbe)
 		if err != nil {
 			usagef("starvesim: %v", err)
 		}
@@ -158,8 +184,7 @@ func main() {
 			fmt.Print(pr.Stats)
 		}
 		fmt.Println(pr.Net)
-		sink.finish(pr.Net)
-		reportGuard(pr.Net)
+		finishRun(sink, watch, pr.Net, "population", s)
 		return
 	}
 
@@ -177,16 +202,15 @@ func main() {
 			rateMbps: *rate, bufferPkts: *buffer,
 			rm1: *rm1, rm2: *rm2,
 			jitterSpec: *jspec, loss1: *loss1, faultsSpec: *fspec, ackAggregate: *ackPer,
-			duration: d, seed: s, guard: guardOpts,
-		}, sink.probe())
+			duration: d, seed: s, guard: guardOpts, telemetry: tcfg,
+		}, runProbe)
 		if err != nil {
 			// Everything runCustom can fail on is configuration: a typo'd
 			// CCA, jitter, or faults spec, or an invalid network config.
 			usagef("starvesim: %v", err)
 		}
 		fmt.Println(res)
-		sink.finish(res)
-		reportGuard(res)
+		finishRun(sink, watch, res, "custom", s)
 		return
 	}
 
@@ -201,7 +225,7 @@ func main() {
 		return
 	}
 
-	opts := scenario.Opts{Seed: *seed, Duration: *duration, Probe: sink.probe(), Guard: guardOpts}
+	opts := scenario.Opts{Seed: *seed, Duration: *duration, Probe: runProbe, Guard: guardOpts, Telemetry: tcfg}
 	if *sweepN > 0 {
 		if *name == "" || *name == "all" {
 			usagef("starvesim: -sweep needs a single -scenario name")
@@ -216,8 +240,30 @@ func main() {
 		runAll(*jobsN, opts)
 	}
 	res := run(*name, opts)
-	sink.finish(res)
-	reportGuard(res)
+	finishRun(sink, watch, res, *name, *seed)
+}
+
+// finishRun closes the run's observers in order — live view first (its
+// final state line), then the sink (surfacing any export failure as a
+// structured guard.KindExport RunError) — and exits non-zero on export or
+// guard failure.
+func finishRun(sink *obsSink, watch *watcher, res *network.Result, name string, seed int64) {
+	if watch != nil {
+		watch.halt()
+	}
+	code := 0
+	if rerr := sink.finish(res, name, seed); rerr != nil {
+		fmt.Fprintln(os.Stderr, rerr.Error())
+		code = 1
+	}
+	if guardFailed(res) {
+		fmt.Fprintln(os.Stderr, res.Guard.String())
+		code = 1
+	}
+	if code != 0 {
+		stopProfiles()
+		os.Exit(code)
+	}
 }
 
 // runAll executes every registered scenario, -jobs at a time, and prints
@@ -315,19 +361,6 @@ func guardFailed(res *network.Result) bool {
 	return res != nil && res.Guard != nil && !res.Guard.Ok()
 }
 
-// reportGuard prints the guard report of a single observed run and exits
-// non-zero when the guard terminated or failed it.
-func reportGuard(res *network.Result) {
-	if res == nil || res.Guard == nil {
-		return
-	}
-	if !res.Guard.Ok() {
-		fmt.Fprintln(os.Stderr, res.Guard.String())
-		stopProfiles()
-		os.Exit(1)
-	}
-}
-
 // obsSink bundles the CLI's observability outputs: an optional JSONL event
 // trace (streamed during the run) and an optional Prometheus metrics file
 // (written from the Result's registry snapshot after it).
@@ -357,29 +390,54 @@ func (s *obsSink) probe() obs.Probe {
 	return s.traceWriter
 }
 
+// flush pushes buffered trace events to disk mid-run (the -watch tick).
+// Errors are sticky in the writer and surface at finish.
+func (s *obsSink) flush() error {
+	if s.traceWriter == nil {
+		return nil
+	}
+	return s.traceWriter.Flush()
+}
+
 // finish flushes the event trace and writes the metrics snapshot. res may
-// be nil (closed-form scenarios have no network run).
-func (s *obsSink) finish(res *network.Result) {
-	if s.traceWriter != nil {
-		if err := s.traceWriter.Close(); err != nil {
-			fatalf("starvesim: writing trace: %v", err)
+// be nil (closed-form scenarios have no network run). Export failures —
+// including a write error that struck mid-run and stuck in the JSONL
+// writer — come back as a structured guard.KindExport RunError: the
+// simulation completed, but its recorded stream is incomplete.
+func (s *obsSink) finish(res *network.Result, name string, seed int64) *guard.RunError {
+	exportErr := func(what string, err error) *guard.RunError {
+		return &guard.RunError{
+			Scenario: name, Seed: seed, Kind: guard.KindExport,
+			Msg: fmt.Sprintf("%s: %v", what, err),
 		}
-		if err := s.traceFile.Close(); err != nil {
-			fatalf("starvesim: closing trace: %v", err)
+	}
+	if s.traceWriter != nil {
+		err := s.traceWriter.Close()
+		if cerr := s.traceFile.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return exportErr("writing trace", err)
 		}
 	}
 	if s.metricsPath == "" {
-		return
+		return nil
 	}
 	if res == nil {
 		fatalf("starvesim: -metrics: scenario produced no network run")
 	}
 	f, err := os.Create(s.metricsPath)
 	if err != nil {
-		fatalf("starvesim: %v", err)
+		return exportErr("creating metrics file", err)
 	}
 	defer f.Close()
 	if err := obs.WritePrometheus(f, &res.Obs); err != nil {
-		fatalf("starvesim: writing metrics: %v", err)
+		return exportErr("writing metrics", err)
 	}
+	if res.Telemetry != nil {
+		if err := network.WriteTelemetryPrometheus(f, res.Telemetry); err != nil {
+			return exportErr("writing telemetry metrics", err)
+		}
+	}
+	return nil
 }

@@ -6,6 +6,7 @@ import (
 	"starvation/internal/core"
 	"starvation/internal/endpoint"
 	"starvation/internal/guard"
+	"starvation/internal/network"
 	"starvation/internal/obs"
 	"starvation/internal/scenario"
 	"starvation/internal/units"
@@ -23,6 +24,7 @@ type populationFlags struct {
 	duration  time.Duration
 	seed      int64
 	guard     *guard.Options
+	telemetry *network.TelemetryConfig // nil disables the flight recorder
 }
 
 // runPopulation assembles and runs the freeform population experiment.
@@ -44,6 +46,7 @@ func runPopulation(f populationFlags, probe obs.Probe) (*core.PopulationResult, 
 		Epsilon:    f.epsilon,
 		Guard:      f.guard,
 		Probe:      probe,
+		Telemetry:  f.telemetry,
 	}
 	if topo.Links == nil {
 		cfg.Rate = units.Mbps(f.rateMbps)

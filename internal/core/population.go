@@ -39,6 +39,10 @@ type PopulationConfig struct {
 	Guard *guard.Options
 	Probe obs.Probe
 	Ctx   context.Context
+	// Telemetry passes through to network.Config.Telemetry, enabling the
+	// flight recorder (windowed series + online episode detection) on the
+	// population run.
+	Telemetry *network.TelemetryConfig
 }
 
 // PopulationResult is one realization of a population experiment.
@@ -64,6 +68,7 @@ func RunPopulation(cfg PopulationConfig) (*PopulationResult, error) {
 		Guard:      cfg.Guard,
 		Probe:      cfg.Probe,
 		Ctx:        cfg.Ctx,
+		Telemetry:  cfg.Telemetry,
 	}
 	if cfg.Links == nil {
 		ncfg.Rate = cfg.Rate

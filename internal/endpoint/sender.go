@@ -369,6 +369,12 @@ func (sn *Sender) OnAck(a packet.Ack) {
 	if sn.Probe != nil {
 		sn.Probe.Emit(obs.Event{Type: obs.EvAckRecv, At: now, Flow: sn.flow,
 			Seq: a.CumAck, Bytes: newly, Queue: -1, Retx: a.EchoRetx})
+		if rtt > 0 {
+			// Valid (Karn-filtered) measurements only, mirroring the RTT
+			// trace hook below, so windowed RTT series match the traces.
+			sn.Probe.Emit(obs.Event{Type: obs.EvRTTSample, At: now,
+				Flow: sn.flow, Seq: int64(rtt), Queue: -1})
+		}
 		sn.noteCwnd(now)
 	}
 	if sn.AckTraceHook != nil {

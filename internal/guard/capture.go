@@ -24,6 +24,10 @@ const (
 	KindCancelled ErrKind = "cancelled"
 	// KindError: the run body returned an ordinary error (I/O, config).
 	KindError ErrKind = "error"
+	// KindExport: a telemetry/trace exporter (JSONL sink, metrics file)
+	// failed to write. The simulation itself completed; its outputs are
+	// suspect because the recorded stream is incomplete.
+	KindExport ErrKind = "export"
 )
 
 // RunError is the structured failure of one scenario run: enough context

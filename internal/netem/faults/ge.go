@@ -87,6 +87,22 @@ func (g *GEGate) SetProbe(s *sim.Simulator, p obs.Probe) {
 // Bad reports whether the chain is currently in the Bad state.
 func (g *GEGate) Bad() bool { return g.bad }
 
+// emitState reports a chain transition (Seq 1 = entered Bad, 0 = back to
+// Good) so online detectors can attribute starvation onsets to loss
+// bursts. Probe-gated and synchronous: the chain steps identically with
+// or without a probe.
+func (g *GEGate) emitState(flow packet.FlowID, state int64) {
+	if g.probe == nil {
+		return
+	}
+	var now sim.Time
+	if g.sim != nil {
+		now = g.sim.Now()
+	}
+	g.probe.Emit(obs.Event{Type: obs.EvFaultState, At: now, Flow: flow,
+		Seq: state, Queue: -1})
+}
+
 // Send steps the chain once and then passes or drops p. The transition is
 // evaluated before the drop decision, so a burst can claim the packet that
 // triggered it — the standard discrete-time GE formulation.
@@ -94,10 +110,12 @@ func (g *GEGate) Send(p packet.Packet) {
 	if g.bad {
 		if g.cfg.PBadToGood > 0 && g.rng.Float64() < g.cfg.PBadToGood {
 			g.bad = false
+			g.emitState(p.Flow, 0)
 		}
 	} else if g.cfg.PGoodToBad > 0 && g.rng.Float64() < g.cfg.PGoodToBad {
 		g.bad = true
 		g.BadEntries++
+		g.emitState(p.Flow, 1)
 	}
 	pd := g.cfg.PDropGood
 	if g.bad {

@@ -31,11 +31,13 @@ var updateGolden = flag.Bool("update", false, "rewrite the golden parity hashes 
 // output pins the realization bit-for-bit, so any engine change that
 // perturbs event order — however subtly — fails here before it can
 // silently invalidate cached runner artifacts or the figures tree.
-func goldenScenarios() map[string]func() *Result {
+// The scenarios take an optional TelemetryConfig so the telemetry parity
+// test can run the identical realizations with the flight recorder on.
+func goldenScenarios(tc *TelemetryConfig) map[string]func() *Result {
 	return map[string]func() *Result{
 		"clean": func() *Result {
 			n := New(
-				Config{Rate: units.Mbps(48), BufferBytes: 64 * 1500, Seed: 7},
+				Config{Rate: units.Mbps(48), BufferBytes: 64 * 1500, Seed: 7, Telemetry: tc},
 				FlowSpec{
 					Alg:       vegas.New(vegas.Config{}),
 					Rm:        40 * time.Millisecond,
@@ -53,7 +55,7 @@ func goldenScenarios() map[string]func() *Result {
 		},
 		"impaired": func() *Result {
 			n := New(
-				Config{Rate: units.Mbps(24), BufferBytes: 48 * 1500, Seed: 11},
+				Config{Rate: units.Mbps(24), BufferBytes: 48 * 1500, Seed: 11, Telemetry: tc},
 				FlowSpec{
 					Alg:      vegas.New(vegas.Config{}),
 					Rm:       30 * time.Millisecond,
@@ -103,7 +105,7 @@ func hashResult(t *testing.T, res *Result) string {
 func TestGoldenParity(t *testing.T) {
 	path := filepath.Join("testdata", "golden_parity.json")
 	got := map[string]string{}
-	for name, run := range goldenScenarios() {
+	for name, run := range goldenScenarios(nil) {
 		got[name] = hashResult(t, run())
 	}
 	if *updateGolden {
@@ -133,6 +135,31 @@ func TestGoldenParity(t *testing.T) {
 			t.Errorf("%s: no golden hash recorded (run -update)", name)
 		} else if h != w {
 			t.Errorf("%s: realization diverged from golden engine: got %s want %s", name, h, w)
+		}
+	}
+}
+
+// TestGoldenParityTelemetry pins the flight recorder's observation-only
+// contract in the strongest form: with per-flow telemetry and episode
+// detection enabled, every golden realization must hash identically to
+// the recorder-off goldens — same traces, same result table, same sim
+// event counts. The Telemetry block itself is stripped before hashing
+// (it only exists in the instrumented run); everything else must match
+// bit for bit.
+func TestGoldenParityTelemetry(t *testing.T) {
+	plain := map[string]string{}
+	for name, run := range goldenScenarios(nil) {
+		plain[name] = hashResult(t, run())
+	}
+	for name, run := range goldenScenarios(&TelemetryConfig{}) {
+		res := run()
+		if res.Telemetry == nil {
+			t.Fatalf("%s: telemetry enabled but Result.Telemetry is nil", name)
+		}
+		res.Telemetry = nil
+		if h := hashResult(t, res); h != plain[name] {
+			t.Errorf("%s: telemetry perturbed the realization: got %s want %s",
+				name, h, plain[name])
 		}
 	}
 }

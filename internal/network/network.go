@@ -137,6 +137,12 @@ type Config struct {
 	// (the default) disables event emission; the counters registry in
 	// Result.Obs is populated either way.
 	Probe obs.Probe
+	// Telemetry enables the flight recorder: windowed per-flow series, the
+	// online starvation-episode detector, run-phase spans, and the
+	// self-telemetry sampler, reported in Result.Telemetry. Observation-
+	// only, like Probe: it neither schedules events nor draws randomness,
+	// so fixed-seed realizations are bit-identical with it on or off.
+	Telemetry *TelemetryConfig
 }
 
 // Flow is the instantiated per-flow pipeline with its traces.
@@ -188,8 +194,9 @@ type Network struct {
 	// once so inter-link forwarding never allocates a closure per packet.
 	hopArriveFns []func(packet.Packet)
 
-	monitor *guard.Monitor
-	report  guard.Report
+	monitor   *guard.Monitor
+	report    guard.Report
+	telemetry *telemetryRecorder
 
 	// sampleFn is the sample method bound once so the self-rescheduling
 	// trace sampler never re-binds a method value.
@@ -286,6 +293,27 @@ func newNetwork(cfg Config, specs ...FlowSpec) *Network {
 		// unguarded runs of the same seed stay bit-identical.
 		n.monitor = guard.NewMonitor()
 		cfg.Probe = obs.Multi(cfg.Probe, n.monitor)
+		n.cfg.Probe = cfg.Probe
+	}
+	// Flow names must be resolved before the recorder labels its flows and
+	// before any element captures the probe chain.
+	for i := range specs {
+		if specs[i].Name == "" {
+			specs[i].Name = fmt.Sprintf("flow%d", i)
+		}
+	}
+	if cfg.Telemetry != nil {
+		// The recorder folds raw events; its derived events (phases,
+		// episode boundaries) go to the pre-existing chain, so an attached
+		// JSONL trace carries them inline. Fair share reads the configured
+		// reporting-bottleneck rate — the same denominator the population
+		// statistics use.
+		var fair float64
+		if r := cfg.linksOf()[cfg.Bottleneck].Rate; r > 0 && len(specs) > 0 {
+			fair = float64(r) / float64(len(specs))
+		}
+		n.telemetry = newTelemetryRecorder(cfg.Telemetry, cfg.SampleEvery, fair, cfg.Probe, specs)
+		cfg.Probe = obs.Multi(cfg.Probe, n.telemetry)
 		n.cfg.Probe = cfg.Probe
 	}
 
@@ -460,6 +488,9 @@ func (n *Network) RunWindow(d, from, to time.Duration) *Result {
 	// regrows a trace buffer. (The RTT trace is ACK-paced and unknowable
 	// here; it keeps amortized appends.)
 	samples := int(d/n.cfg.SampleEvery) + 2
+	if n.telemetry != nil {
+		n.telemetry.begin(d, from, to)
+	}
 	n.QueueTrace.Reserve(samples)
 	for j := range n.LinkQueues {
 		n.LinkQueues[j].Reserve(samples)
@@ -529,6 +560,12 @@ func (n *Network) sample() {
 			n.cfg.Probe.Emit(obs.Event{Type: obs.EvRateSample, At: now,
 				Flow: f.ID, Seq: int64(rate), Queue: depth})
 		}
+	}
+	if n.telemetry != nil {
+		// Phase markers and self-telemetry piggyback on this tick — the
+		// one callback every run already schedules — so the recorder adds
+		// zero events to the realization.
+		n.telemetry.tick(now, n.Sim.Pending())
 	}
 	n.Sim.After(n.cfg.SampleEvery, n.sampleFn)
 }

@@ -26,6 +26,25 @@ func BenchmarkEmulatedSecond(b *testing.B) {
 	}
 }
 
+// BenchmarkEmulatedSecondTelemetry is the same workload with the flight
+// recorder on: windowed sampler, episode detector, phase machine, and the
+// RTT/fault emissions the recorder unlocks. benchcheck pins its ns/op
+// within tolerance of its own baseline and its pkts/simsec exactly equal
+// to BenchmarkEmulatedSecond's — the realization must not move.
+func BenchmarkEmulatedSecondTelemetry(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		n := New(
+			Config{Rate: units.Mbps(100), Seed: 1, Telemetry: &TelemetryConfig{}},
+			FlowSpec{Alg: vegas.New(vegas.Config{}), Rm: 50 * time.Millisecond},
+			FlowSpec{Alg: vegas.New(vegas.Config{}), Rm: 50 * time.Millisecond},
+		)
+		res := n.Run(time.Second)
+		pkts := float64(res.Delivered)
+		b.ReportMetric(pkts, "pkts/simsec")
+	}
+}
+
 // BenchmarkPacketRate measures raw packet-forwarding throughput of the
 // assembled path (sender → queue → propagation → jitter → receiver → ack).
 func BenchmarkPacketRate(b *testing.B) {

@@ -94,6 +94,10 @@ type Result struct {
 	// when rendering large runs (<= 0 selects the metrics default). Set
 	// by core.RunPopulation so a -eps override survives into the report.
 	Epsilon float64
+	// Telemetry is the flight recorder's output — windowed per-flow
+	// series, starvation episodes, run phases, self-telemetry — non-nil
+	// only when Config.Telemetry was set.
+	Telemetry *TelemetryResult
 }
 
 func (n *Network) collect(d, from, to time.Duration) *Result {
@@ -170,6 +174,9 @@ func (n *Network) collect(d, from, to time.Duration) *Result {
 	}
 	res.Obs = n.snapshot()
 	res.Ledger = n.ledger()
+	if n.telemetry != nil {
+		res.Telemetry = n.telemetry.finish(d, n.Flows)
+	}
 	if n.cfg.Guard != nil {
 		// Fold the end-of-run checks into the report: a final progress
 		// sweep, the event-derived counter inequalities, and the
@@ -379,6 +386,9 @@ func (r *Result) String() string {
 	if len(r.Flows) > CompactFlowThreshold {
 		b.WriteString(r.Population(r.Epsilon).String())
 		fmt.Fprintf(&b, "ratio %.2f  jain %.3f  utilization %.3f\n", r.Ratio(), r.Jain(), r.Utilization())
+		if r.Telemetry != nil {
+			b.WriteString(r.Telemetry.String())
+		}
 		return b.String()
 	}
 	fmt.Fprintf(&b, "%-12s %14s %14s %10s %10s %10s %8s\n",
@@ -392,5 +402,8 @@ func (r *Result) String() string {
 			f.Stat.LossEvents)
 	}
 	fmt.Fprintf(&b, "ratio %.2f  jain %.3f  utilization %.3f\n", r.Ratio(), r.Jain(), r.Utilization())
+	if r.Telemetry != nil {
+		b.WriteString(r.Telemetry.String())
+	}
 	return b.String()
 }

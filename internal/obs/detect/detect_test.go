@@ -1,0 +1,214 @@
+package detect
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"starvation/internal/metrics"
+	"starvation/internal/obs"
+	"starvation/internal/obs/timeseries"
+)
+
+const (
+	stride = 100 * time.Millisecond
+	fair   = 1e6 // 1 Mbit/s fair share
+)
+
+// feed sends a sequence of windowed shares (fractions of fair share) to
+// the detector as consecutive windows of flow 0.
+func feed(d *Detector, shares ...float64) {
+	for i, sh := range shares {
+		w := timeseries.Window{
+			Start:          time.Duration(i) * stride,
+			DeliveredBytes: int64(sh * fair / 8 * stride.Seconds()),
+		}
+		d.Observe(0, &w, stride)
+	}
+}
+
+func TestDetectorDefaults(t *testing.T) {
+	d := New(Config{FairShare: fair}, 1)
+	if d.Epsilon() != metrics.DefaultStarvationEpsilon {
+		t.Errorf("epsilon = %g, want the population default %g",
+			d.Epsilon(), metrics.DefaultStarvationEpsilon)
+	}
+	if d.FairShare() != fair {
+		t.Errorf("fair share = %g, want %g", d.FairShare(), fair)
+	}
+}
+
+func TestDetectorOpensWithHysteresis(t *testing.T) {
+	d := New(Config{FairShare: fair}, 1)
+	d.Label(0, "cubic0", "cubic")
+	// One starved window is noise: no episode.
+	feed(d, 0.5, 0.02, 0.5, 0.5)
+	d.Flush(400 * time.Millisecond)
+	if n := len(d.Episodes()); n != 0 {
+		t.Fatalf("episodes after a single noisy window = %d, want 0", n)
+	}
+
+	// Two consecutive starved windows open; two healthy close.
+	d2 := New(Config{FairShare: fair}, 1)
+	d2.Label(0, "cubic0", "cubic")
+	feed(d2, 0.5, 0.02, 0.01, 0.04, 0.5, 0.5)
+	eps := d2.Episodes()
+	if len(eps) != 1 {
+		t.Fatalf("episodes = %d, want 1", len(eps))
+	}
+	ep := eps[0]
+	if ep.Name != "cubic0" || ep.Cohort != "cubic" {
+		t.Errorf("labels = %q/%q, want cubic0/cubic", ep.Name, ep.Cohort)
+	}
+	// Backdated to the first starved window (window 1), ending at the
+	// start of the first healthy window (window 4).
+	if ep.Onset != stride || ep.End != 4*stride {
+		t.Errorf("extent = [%v, %v), want [%v, %v)", ep.Onset, ep.End, stride, 4*stride)
+	}
+	if ep.Windows != 3 {
+		t.Errorf("windows = %d, want 3", ep.Windows)
+	}
+	if ep.MinShare != 0.01 {
+		t.Errorf("min share = %g, want 0.01", ep.MinShare)
+	}
+	wantMean := (0.02 + 0.01 + 0.04) / 3
+	if diff := ep.MeanShare - wantMean; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("mean share = %g, want %g", ep.MeanShare, wantMean)
+	}
+	wantSev := 1 - 0.01/d2.Epsilon()
+	if ep.Severity != wantSev {
+		t.Errorf("severity = %g, want %g", ep.Severity, wantSev)
+	}
+	if ep.OpenAtEnd {
+		t.Error("episode closed by recovery marked OpenAtEnd")
+	}
+}
+
+func TestDetectorSingleHealthyWindowDoesNotSplit(t *testing.T) {
+	d := New(Config{FairShare: fair}, 1)
+	// starved, starved, healthy blip, starved, starved — one episode.
+	feed(d, 0.02, 0.02, 0.5, 0.02, 0.02)
+	d.Flush(500 * time.Millisecond)
+	eps := d.Episodes()
+	if len(eps) != 1 {
+		t.Fatalf("episodes = %d, want 1 (blip must not split)", len(eps))
+	}
+	if eps[0].Onset != 0 || !eps[0].OpenAtEnd {
+		t.Errorf("episode = %+v, want onset 0 and open at horizon", eps[0])
+	}
+}
+
+func TestDetectorFlushSealsOpenEpisode(t *testing.T) {
+	d := New(Config{FairShare: fair}, 1)
+	feed(d, 0.5, 0.0, 0.0, 0.0)
+	d.Flush(400 * time.Millisecond)
+	eps := d.Episodes()
+	if len(eps) != 1 {
+		t.Fatalf("episodes = %d, want 1", len(eps))
+	}
+	ep := eps[0]
+	if !ep.OpenAtEnd || ep.End != 400*time.Millisecond {
+		t.Errorf("episode = %+v, want open at 400ms horizon", ep)
+	}
+	if ep.Severity != 1 {
+		t.Errorf("severity of zero-delivery episode = %g, want 1", ep.Severity)
+	}
+	if ep.Duration() != 300*time.Millisecond {
+		t.Errorf("duration = %v, want 300ms", ep.Duration())
+	}
+}
+
+func TestDetectorFaultAttribution(t *testing.T) {
+	d := New(Config{FairShare: fair}, 1)
+	windows := []timeseries.Window{
+		{Start: 0, DeliveredBytes: 100_000},                    // healthy
+		{Start: stride, DeliveredBytes: 0, FaultBad: true},     // onset, in burst
+		{Start: 2 * stride, DeliveredBytes: 0, FaultBursts: 2}, // two more bursts
+		{Start: 3 * stride, DeliveredBytes: 100_000},           // recovery
+		{Start: 4 * stride, DeliveredBytes: 100_000},           //
+	}
+	for i := range windows {
+		d.Observe(0, &windows[i], stride)
+	}
+	eps := d.Episodes()
+	if len(eps) != 1 {
+		t.Fatalf("episodes = %d, want 1", len(eps))
+	}
+	if !eps[0].FaultAtOnset {
+		t.Error("FaultAtOnset not set for an onset window inside a burst")
+	}
+	if eps[0].FaultBursts != 2 {
+		t.Errorf("fault bursts = %d, want 2", eps[0].FaultBursts)
+	}
+}
+
+func TestDetectorEmitsEpisodeEvents(t *testing.T) {
+	rec := &recordingProbe{}
+	d := New(Config{FairShare: fair, Probe: rec}, 1)
+	feed(d, 0.02, 0.02, 0.5, 0.5)
+	if len(rec.events) != 2 {
+		t.Fatalf("events = %d, want onset + end", len(rec.events))
+	}
+	on, end := rec.events[0], rec.events[1]
+	if on.Type != obs.EvStarveOnset || on.At != 0 || on.Flow != 0 {
+		t.Errorf("onset event = %+v", on)
+	}
+	if end.Type != obs.EvStarveEnd || end.At != 2*stride {
+		t.Errorf("end event = %+v", end)
+	}
+	if end.Seq != int64(2*stride) {
+		t.Errorf("end duration = %d, want %d", end.Seq, int64(2*stride))
+	}
+}
+
+func TestDetectorInactiveWithoutFairShare(t *testing.T) {
+	d := New(Config{}, 1)
+	feed(d, 0, 0, 0, 0)
+	d.Flush(400 * time.Millisecond)
+	if n := len(d.Episodes()); n != 0 {
+		t.Errorf("detector without fair share produced %d episodes", n)
+	}
+}
+
+func TestDetectorGrowsFlowTable(t *testing.T) {
+	d := New(Config{FairShare: fair}, 1)
+	w := timeseries.Window{Start: 0}
+	d.Observe(7, &w, stride)
+	d.Observe(7, &timeseries.Window{Start: stride}, stride)
+	d.Flush(2 * stride)
+	eps := d.Episodes()
+	if len(eps) != 1 || eps[0].Flow != 7 {
+		t.Fatalf("episodes = %+v, want one for grown flow 7", eps)
+	}
+}
+
+func TestDetectorDeterministic(t *testing.T) {
+	run := func() []Episode {
+		d := New(Config{FairShare: fair}, 2)
+		d.Label(0, "a", "ca")
+		d.Label(1, "b", "cb")
+		shares := []float64{0.5, 0.02, 0.0, 0.03, 0.5, 0.5, 0.01, 0.01}
+		for i, sh := range shares {
+			w := timeseries.Window{
+				Start:          time.Duration(i) * stride,
+				DeliveredBytes: int64(sh * fair / 8 * stride.Seconds()),
+			}
+			d.Observe(0, &w, stride)
+			w2 := w
+			d.Observe(1, &w2, stride)
+		}
+		d.Flush(800 * time.Millisecond)
+		return d.Episodes()
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("episode logs differ across identical runs:\n%v\n%v", a, b)
+	}
+	if len(a) != 4 {
+		t.Errorf("episodes = %d, want 2 per flow", len(a))
+	}
+}
+
+type recordingProbe struct{ events []obs.Event }
+
+func (r *recordingProbe) Emit(e obs.Event) { r.events = append(r.events, e) }

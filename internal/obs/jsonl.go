@@ -69,13 +69,20 @@ func (jw *JSONLWriter) Emit(e Event) {
 // Err returns the first error encountered while writing, if any.
 func (jw *JSONLWriter) Err() error { return jw.err }
 
-// Close flushes buffered events and returns the first error seen.
-func (jw *JSONLWriter) Close() error {
+// Flush pushes buffered events to the underlying writer and returns the
+// first error seen, without ending the stream. Long-running consumers
+// (the -watch live view, batch drivers checkpointing mid-run) call it
+// periodically so an export failure surfaces while the run can still
+// report it as a structured error instead of dying silently at Close.
+func (jw *JSONLWriter) Flush() error {
 	if err := jw.bw.Flush(); err != nil && jw.err == nil {
 		jw.err = err
 	}
 	return jw.err
 }
+
+// Close flushes buffered events and returns the first error seen.
+func (jw *JSONLWriter) Close() error { return jw.Flush() }
 
 // ReadJSONL parses an event trace written by JSONLWriter. Blank lines are
 // skipped; any malformed line aborts with an error naming its number.

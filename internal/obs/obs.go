@@ -64,6 +64,28 @@ const (
 	// in bit/s, Queue the depth at the change, and Flow is -1: the event is
 	// global, not owned by any flow.
 	EvLinkRate
+	// EvRTTSample: the sender took a valid RTT measurement (Karn's rule).
+	// Seq is the RTT in nanoseconds. Emitted only on the instrumented path;
+	// the ACK-paced cadence makes it the raw material for windowed
+	// RTT/queueing-delay series.
+	EvRTTSample
+	// EvFaultState: a fault element's internal state changed. Seq is 1 when
+	// a Gilbert–Elliott gate enters its Bad (bursty-loss) state and 0 when
+	// it returns to Good, so detectors can attribute starvation onsets to
+	// co-occurring loss bursts.
+	EvFaultState
+	// EvPhase: a run-phase span began. Seq indexes the phase (0 setup,
+	// 1 warmup, 2 measure) and Flow is -1: phases are properties of the
+	// run, not of any flow. Emitted from the trace-sampling tick, so
+	// enabling phases never schedules additional simulator events.
+	EvPhase
+	// EvStarveOnset: the online detector opened a starvation episode for
+	// the flow. At is the onset (start of the first starved window of the
+	// streak); Seq is the windowed delivery rate in bit/s at onset.
+	EvStarveOnset
+	// EvStarveEnd: the detector closed the flow's open episode. At is the
+	// end of the episode; Seq is its duration in nanoseconds.
+	EvStarveEnd
 
 	numEventTypes
 )
@@ -72,6 +94,8 @@ var eventTypeNames = [numEventTypes]string{
 	"enqueue", "drop", "mark", "dequeue", "deliver",
 	"ack_recv", "cwnd_update", "rate_sample",
 	"dup", "reorder", "link_rate",
+	"rtt_sample", "fault_state", "phase",
+	"starve_onset", "starve_end",
 }
 
 // String returns the stable wire name of the event type.
@@ -90,6 +114,32 @@ func ParseEventType(s string) (EventType, bool) {
 		}
 	}
 	return 0, false
+}
+
+// Run phases carried in EvPhase's Seq payload.
+const (
+	// PhaseSetup: topology assembly; spans only the instant before the
+	// first event (flows may still be waiting on StartAt).
+	PhaseSetup = iota
+	// PhaseWarmup: the run before the steady-state window opens.
+	PhaseWarmup
+	// PhaseMeasure: the steady-state statistics window.
+	PhaseMeasure
+
+	NumPhases
+)
+
+// PhaseName returns the stable name of a run phase index.
+func PhaseName(p int) string {
+	switch p {
+	case PhaseSetup:
+		return "setup"
+	case PhaseWarmup:
+		return "warmup"
+	case PhaseMeasure:
+		return "measure"
+	}
+	return fmt.Sprintf("phase(%d)", p)
 }
 
 // Event is one observation. It is a plain value: emitting one never

@@ -77,8 +77,15 @@ func (s *Snapshot) Flow(id packet.FlowID) *FlowCounters {
 	return &s.Flows[id]
 }
 
-// Registry is a Probe that folds the event stream into counters. It is
-// single-goroutine like the simulator itself and needs no locking.
+// Registry is a Probe that folds the event stream into counters.
+//
+// Ownership: a Registry is single-writer, like the simulator feeding it —
+// Emit, Snapshot, and Cohorts must all be called from the goroutine that
+// owns the run (TestRegistrySingleWriterOwnership pins this contract).
+// Concurrent sweeps must give each run its own Registry (they are cheap)
+// or share one through a Synchronized wrapper; handing one bare Registry
+// to several emitting goroutines corrupts the counters and races the
+// cohort aggregation's map walk.
 type Registry struct {
 	snap Snapshot
 }

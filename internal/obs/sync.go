@@ -1,0 +1,45 @@
+package obs
+
+import "sync"
+
+// Synchronized is the guarded mode of the probe layer: it serializes Emit
+// calls and reader access to one probe behind a mutex.
+//
+// Probes themselves follow the simulator's single-writer discipline — a
+// Registry, sampler, or JSONL writer is owned by the one goroutine running
+// its simulation, and needs no locking there (see Registry). Two places
+// legitimately break that discipline: a live view (starvesim -watch)
+// reading flow state from a wall-clock goroutine while the simulation
+// emits, and tooling that funnels several concurrent sweeps into one
+// shared sink. Wrapping the shared probe in Synchronized makes both safe;
+// the focused -race CI step covers this type.
+//
+// Do NOT wrap per-run probes used by a parallel sweep where each run has
+// its own probe — that is already race-free and the lock only costs time.
+type Synchronized struct {
+	mu sync.Mutex
+	p  Probe
+}
+
+// NewSynchronized wraps p; a nil p yields a probe that only serializes Do.
+func NewSynchronized(p Probe) *Synchronized {
+	return &Synchronized{p: p}
+}
+
+// Emit implements Probe, holding the lock across the wrapped emission.
+func (s *Synchronized) Emit(e Event) {
+	s.mu.Lock()
+	if s.p != nil {
+		s.p.Emit(e)
+	}
+	s.mu.Unlock()
+}
+
+// Do runs fn under the same lock Emit takes, so a reader goroutine can
+// inspect the wrapped probe's state (snapshot a registry, render a live
+// view, flush a writer) without racing the emitting goroutine.
+func (s *Synchronized) Do(fn func(p Probe)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fn(s.p)
+}

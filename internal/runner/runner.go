@@ -109,6 +109,14 @@ type Stats struct {
 	CacheHits int64 `json:"cache_hits"`
 	// Failed counts jobs that ended in a RunError.
 	Failed int64 `json:"failed"`
+	// HeapAllocBytes/TotalAllocs/NumGC are the driver process's memory
+	// self-telemetry, read once per Stats call (runtime.ReadMemStats is
+	// off every job's hot path).
+	HeapAllocBytes uint64 `json:"heap_alloc_bytes"`
+	TotalAllocs    uint64 `json:"total_allocs"`
+	NumGC          uint32 `json:"num_gc"`
+	// Goroutines gauges pool + job concurrency at collection time.
+	Goroutines int `json:"goroutines"`
 }
 
 // DefaultGrace is the post-cancellation wait for a job to acknowledge
@@ -142,12 +150,18 @@ type Pool struct {
 	total      int
 }
 
-// Stats returns the pool's batch counters.
+// Stats returns the pool's batch counters plus process self-telemetry.
 func (p *Pool) Stats() Stats {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
 	return Stats{
-		Executed:  p.executed.Load(),
-		CacheHits: p.cacheHits.Load(),
-		Failed:    p.failed.Load(),
+		Executed:       p.executed.Load(),
+		CacheHits:      p.cacheHits.Load(),
+		Failed:         p.failed.Load(),
+		HeapAllocBytes: ms.HeapAlloc,
+		TotalAllocs:    ms.Mallocs,
+		NumGC:          ms.NumGC,
+		Goroutines:     runtime.NumGoroutine(),
 	}
 }
 
@@ -167,6 +181,21 @@ func (p *Pool) WritePrometheus(w io.Writer) error {
 	for _, r := range rows {
 		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
 			r.name, r.help, r.name, r.name, r.value); err != nil {
+			return err
+		}
+	}
+	gauges := []struct {
+		name, help string
+		value      uint64
+	}{
+		{"starvesim_runner_heap_alloc_bytes", "Driver process live heap at collection time.", st.HeapAllocBytes},
+		{"starvesim_runner_total_allocs", "Driver process cumulative allocations.", st.TotalAllocs},
+		{"starvesim_runner_num_gc", "Driver process completed GC cycles.", uint64(st.NumGC)},
+		{"starvesim_runner_goroutines", "Goroutines alive at collection time.", uint64(st.Goroutines)},
+	}
+	for _, g := range gauges {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n",
+			g.name, g.help, g.name, g.name, g.value); err != nil {
 			return err
 		}
 	}

@@ -40,7 +40,7 @@ func Algo1Ablation(o Opts) *Result {
 			})
 		}
 		n := network.New(
-			network.Config{Rate: units.Mbps(100), Seed: o.Seed, Probe: o.Probe, Guard: o.Guard, Ctx: o.Ctx},
+			network.Config{Rate: units.Mbps(100), Seed: o.Seed, Probe: o.Probe, Guard: o.Guard, Ctx: o.Ctx, Telemetry: o.Telemetry},
 			network.FlowSpec{
 				Name: "jittered", Alg: mk(), Rm: rm,
 				FwdJitter: &jitter.Uniform{Max: d, Rng: rand.New(rand.NewSource(o.Seed*17 + 1))},

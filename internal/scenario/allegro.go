@@ -36,7 +36,7 @@ func allegroFlow(name string, seed int64, loss float64) network.FlowSpec {
 func AllegroRandomLoss(o Opts) *Result {
 	o.fill(60 * time.Second)
 	n := network.New(
-		network.Config{Rate: units.Mbps(allegroRate), BufferBytes: allegroBDP(), Seed: o.Seed, Probe: o.Probe, Guard: o.Guard, Ctx: o.Ctx},
+		network.Config{Rate: units.Mbps(allegroRate), BufferBytes: allegroBDP(), Seed: o.Seed, Probe: o.Probe, Guard: o.Guard, Ctx: o.Ctx, Telemetry: o.Telemetry},
 		allegroFlow("lossy", o.Seed*13+1, 0.02),
 		allegroFlow("clean", o.Seed*13+2, 0),
 	)
@@ -69,7 +69,7 @@ func AllegroBurstLoss(o Opts) *Result {
 	bursty := allegroFlow("bursty", o.Seed*13+1, 0)
 	bursty.Faults = &faults.Spec{GE: &ge}
 	n := network.New(
-		network.Config{Rate: units.Mbps(allegroRate), BufferBytes: allegroBDP(), Seed: o.Seed, Probe: o.Probe, Guard: o.Guard, Ctx: o.Ctx},
+		network.Config{Rate: units.Mbps(allegroRate), BufferBytes: allegroBDP(), Seed: o.Seed, Probe: o.Probe, Guard: o.Guard, Ctx: o.Ctx, Telemetry: o.Telemetry},
 		bursty,
 		allegroFlow("clean", o.Seed*13+2, 0),
 	)
@@ -100,7 +100,7 @@ func AllegroBurstLoss(o Opts) *Result {
 func AllegroBothLossy(o Opts) *Result {
 	o.fill(60 * time.Second)
 	n := network.New(
-		network.Config{Rate: units.Mbps(allegroRate), BufferBytes: allegroBDP(), Seed: o.Seed, Probe: o.Probe, Guard: o.Guard, Ctx: o.Ctx},
+		network.Config{Rate: units.Mbps(allegroRate), BufferBytes: allegroBDP(), Seed: o.Seed, Probe: o.Probe, Guard: o.Guard, Ctx: o.Ctx, Telemetry: o.Telemetry},
 		allegroFlow("lossy0", o.Seed*13+1, 0.02),
 		allegroFlow("lossy1", o.Seed*13+2, 0.02),
 	)
@@ -125,7 +125,7 @@ func AllegroBothLossy(o Opts) *Result {
 func AllegroSingleLossy(o Opts) *Result {
 	o.fill(60 * time.Second)
 	n := network.New(
-		network.Config{Rate: units.Mbps(allegroRate), BufferBytes: allegroBDP(), Seed: o.Seed, Probe: o.Probe, Guard: o.Guard, Ctx: o.Ctx},
+		network.Config{Rate: units.Mbps(allegroRate), BufferBytes: allegroBDP(), Seed: o.Seed, Probe: o.Probe, Guard: o.Guard, Ctx: o.Ctx, Telemetry: o.Telemetry},
 		allegroFlow("lossy", o.Seed*13+1, 0.02),
 	)
 	res := n.Run(o.Duration)

@@ -45,7 +45,7 @@ func copaPoisonFlow(name string, poisoned bool) network.FlowSpec {
 func CopaSingleFlowPoison(o Opts) *Result {
 	o.fill(60 * time.Second)
 	n := network.New(
-		network.Config{Rate: units.Mbps(120), Seed: o.Seed, Probe: o.Probe, Guard: o.Guard, Ctx: o.Ctx},
+		network.Config{Rate: units.Mbps(120), Seed: o.Seed, Probe: o.Probe, Guard: o.Guard, Ctx: o.Ctx, Telemetry: o.Telemetry},
 		copaPoisonFlow("copa", true),
 	)
 	res := n.Run(o.Duration)
@@ -66,7 +66,7 @@ func CopaSingleFlowPoison(o Opts) *Result {
 func CopaTwoFlowPoison(o Opts) *Result {
 	o.fill(60 * time.Second)
 	n := network.New(
-		network.Config{Rate: units.Mbps(120), Seed: o.Seed, Probe: o.Probe, Guard: o.Guard, Ctx: o.Ctx},
+		network.Config{Rate: units.Mbps(120), Seed: o.Seed, Probe: o.Probe, Guard: o.Guard, Ctx: o.Ctx, Telemetry: o.Telemetry},
 		copaPoisonFlow("poisoned", true),
 		copaPoisonFlow("clean", false),
 	)

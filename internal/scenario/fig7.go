@@ -28,6 +28,7 @@ func fig7(o Opts, id, name string, mk func() cca.Algorithm, claim string) *Resul
 			Probe:       o.Probe,
 			Guard:       o.Guard,
 			Ctx:         o.Ctx,
+			Telemetry:   o.Telemetry,
 		},
 		network.FlowSpec{
 			Name: "delacked",

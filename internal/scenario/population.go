@@ -63,6 +63,7 @@ func runPopulationParams(p popParams, o Opts) *Result {
 		Guard:      o.Guard,
 		Probe:      o.Probe,
 		Ctx:        o.Ctx,
+		Telemetry:  o.Telemetry,
 	}
 	if topo.Links == nil {
 		cfg.Rate = units.Mbps(p.rateMbps)

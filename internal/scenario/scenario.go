@@ -83,6 +83,12 @@ type Opts struct {
 	// granularity (wired into network.Config.Ctx). Observation-only:
 	// identical realization until cancellation.
 	Ctx context.Context
+	// Telemetry, when non-nil, enables the flight recorder on every
+	// network the scenario assembles: windowed per-flow series, the
+	// online starvation-episode detector, and run-phase spans, reported
+	// in Net.Telemetry. Observation-only like Probe: realizations are
+	// bit-identical with the recorder on or off.
+	Telemetry *network.TelemetryConfig
 }
 
 func (o *Opts) fill(defaultDur time.Duration) {
