@@ -12,14 +12,28 @@
 // at any -jobs value — the parity test asserts this.
 //
 // A panic or a blown -deadline inside a section is recorded as a
-// structured RunError and the batch continues with the next section. The
+// structured RunError and the batch continues with the next section. With
+// -retries > 1 (implied by -chaos) failed retryable sections are
+// re-attempted with exponential, deterministically jittered backoff. The
 // collected failures are always written to <out>/errors.json — an empty
 // list means a clean batch — and a non-empty list makes the command exit 1
 // after the batch completes.
 //
+// Interrupting the batch (SIGINT or SIGTERM) cancels its context: running
+// sections stop at the next simulation tick, the manifest and errors.json
+// flush, and the command exits 3 so callers can tell "interrupted after a
+// clean drain" from a runtime failure (1) or a malformed invocation (2).
+//
+// The -chaos flag turns the batch into a self-test of this supervision:
+// seeded faults are injected into section bodies and on-disk state (see
+// internal/runner/chaos), the injection log lands in <out>/.chaos/, and —
+// because injected faults are capped per section below the retry budget —
+// the batch must still converge to a byte-identical output tree.
+//
 // Usage:
 //
 //	figures [-out results] [-quick] [-only F3,T5.2] [-jobs N] [-deadline 10m]
+//	        [-retries N] [-chaos "seed:7;fail:0.3;panic:0.1"]
 package main
 
 import (
@@ -32,7 +46,9 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"starvation/internal/ccac"
@@ -42,6 +58,7 @@ import (
 	"starvation/internal/obs"
 	"starvation/internal/prof"
 	"starvation/internal/runner"
+	"starvation/internal/runner/chaos"
 	"starvation/internal/scenario"
 	"starvation/internal/trace"
 	"starvation/internal/units"
@@ -56,7 +73,9 @@ var (
 	jobsN    = flag.Int("jobs", 0, "sections to run in parallel (0 = GOMAXPROCS)")
 	cacheDir = flag.String("cache", "", "result cache directory (default <out>/.cache)")
 	noCache  = flag.Bool("no-cache", false, "disable the result cache (every section re-simulates)")
-	listOnly = flag.Bool("list", false, "list section IDs in run order and exit")
+	listOnly = flag.Bool("list", false, "list section IDs in run order (annotated from <out>/manifest.json when present) and exit")
+	retriesN = flag.Int("retries", 1, "attempts per section; failed retryable sections re-run with seeded backoff (1 = no retries)")
+	chaosArg = flag.String("chaos", "", "inject seeded orchestration faults, e.g. \"seed:7;fail:0.3;panic:0.1;corrupt:2\" (see internal/runner/chaos)")
 
 	cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the batch to this file")
 	memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
@@ -73,8 +92,18 @@ func exit(code int) {
 }
 
 // timeNow stamps the summary header; a variable so tests can pin it and
-// assert byte-identical summaries across runs.
-var timeNow = time.Now
+// assert byte-identical summaries across runs. The SOURCE_DATE_EPOCH
+// convention pins it from the environment, making whole output trees
+// reproducible across invocations (the CI chaos drill diffs a faulted
+// run against a fault-free one byte for byte).
+var timeNow = func() time.Time {
+	if v := os.Getenv("SOURCE_DATE_EPOCH"); v != "" {
+		if sec, err := strconv.ParseInt(v, 10, 64); err == nil {
+			return time.Unix(sec, 0).UTC()
+		}
+	}
+	return time.Now()
+}
 
 // artifactFile is one output file produced by a section, held in memory
 // until the driver writes it (Obs files go to -obs, the rest to -out).
@@ -278,13 +307,42 @@ func assemble(w io.Writer, results []runner.JobResult) error {
 	return os.WriteFile(filepath.Join(*outDir, "summary.md"), []byte(summary.String()), 0o644)
 }
 
+// listSections prints the section IDs in run order, annotated with the
+// recorded outcome from the manifest when one exists: status, attempt
+// count, and — when the manifest on disk was damaged and salvaged — one
+// leading note saying what LoadManifest recovered.
+func listSections(w io.Writer, m *runner.Manifest) {
+	if m.RecoveredFrom != "" {
+		fmt.Fprintf(w, "# manifest: %s\n", m.RecoveredFrom)
+	}
+	for _, s := range sections {
+		e, ok := m.Entry(s.id)
+		if !ok {
+			fmt.Fprintln(w, s.id)
+			continue
+		}
+		note := string(e.Status)
+		if e.Attempts > 1 {
+			note += fmt.Sprintf(", %d attempts", e.Attempts)
+		}
+		fmt.Fprintf(w, "%s\t[%s]\n", s.id, note)
+	}
+}
+
 func main() {
 	flag.Parse()
 	if *listOnly {
-		for _, s := range sections {
-			fmt.Println(s.id)
-		}
+		listSections(os.Stdout, runner.LoadManifest(filepath.Join(*outDir, "manifest.json")))
 		return
+	}
+	var injector *chaos.Injector
+	if *chaosArg != "" {
+		spec, err := chaos.Parse(*chaosArg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		injector = chaos.New(spec)
 	}
 	profStop, err := prof.Start(*cpuprofile, *memprofile)
 	if err != nil {
@@ -311,20 +369,41 @@ func main() {
 		}
 	}
 
-	// An interrupt cancels the batch context: running sections stop at
-	// the next run tick, the manifest records what completed, and the
+	// An interrupt (SIGINT or SIGTERM) cancels the batch context: running
+	// sections stop at the next run tick, the manifest records what
+	// completed, errors.json and the summary flush, and the command exits
+	// 3 so callers can distinguish a drained interrupt from a failure. The
 	// next invocation resumes from the cache.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	manifestPath := filepath.Join(*outDir, "manifest.json")
+	if injector != nil {
+		// Sabotage the persisted state *before* loading it: a truncated
+		// manifest must salvage its complete entries, a corrupted cache
+		// entry must quarantine and re-run.
+		if _, err := injector.TruncateManifest(manifestPath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			exit(1)
+		}
+	}
+	manifest := runner.LoadManifest(manifestPath)
+	if manifest.RecoveredFrom != "" {
+		fmt.Fprintf(os.Stderr, "figures: manifest: %s\n", manifest.RecoveredFrom)
+	}
 
 	pool := &runner.Pool{
 		Jobs:        *jobsN,
 		JobDeadline: *deadline,
-		Manifest:    runner.LoadManifest(filepath.Join(*outDir, "manifest.json")),
+		Manifest:    manifest,
+		Retry:       runner.RetryPolicy{MaxAttempts: *retriesN},
 		Progress: func(ev runner.ProgressEvent) {
 			switch ev.Kind {
 			case runner.ProgressStart:
 				fmt.Fprintf(os.Stderr, "=== %s: running\n", ev.Job)
+			case runner.ProgressRetry:
+				fmt.Fprintf(os.Stderr, "=== %s: attempt %d failed (%s: %s); retrying\n",
+					ev.Job, ev.Attempt, ev.Err.Kind, ev.Err.Msg)
 			case runner.ProgressFailed:
 				fmt.Fprintf(os.Stderr, "[%d/%d] %s: %v (continuing)\n", ev.Done, ev.Total, ev.Job, ev.Err)
 			default:
@@ -333,15 +412,36 @@ func main() {
 			}
 		},
 	}
+	if injector != nil {
+		pool.Retry.Seed = injector.Spec.Seed
+		if *retriesN <= 1 {
+			// Chaos implies a retry budget that outlasts the per-section
+			// fault cap, so the batch converges by construction.
+			pool.Retry.MaxAttempts = injector.Spec.RetryAttempts()
+		}
+		// Keep chaos runs fast: injected failures are expected, so back off
+		// in milliseconds, not the production default.
+		pool.Retry.Base = 5 * time.Millisecond
+	}
 	if !*noCache {
 		dir := *cacheDir
 		if dir == "" {
 			dir = filepath.Join(*outDir, ".cache")
 		}
 		pool.Cache = &runner.Cache{Dir: dir}
+		if injector != nil && injector.Spec.CorruptN > 0 {
+			if _, err := injector.CorruptCache(dir); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				exit(1)
+			}
+		}
 	}
 
-	results := pool.Run(ctx, sectionJobs(sections, filter))
+	jobs := sectionJobs(sections, filter)
+	if injector != nil {
+		jobs = injector.Wrap(jobs)
+	}
+	results := pool.Run(ctx, jobs)
 
 	man := collectErrors(results)
 	errPath := filepath.Join(*outDir, "errors.json")
@@ -353,13 +453,47 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		exit(1)
 	}
+	if injector != nil {
+		if err := writeChaosArtifacts(injector); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "figures: %s\n", injector.Summary())
+	}
 	st := pool.Stats()
-	fmt.Printf("\n%d simulated, %d cached, %d failed; summary written to %s\n",
-		st.Executed, st.CacheHits, st.Failed, filepath.Join(*outDir, "summary.md"))
+	fmt.Printf("\n%d simulated, %d cached, %d failed, %d retried, %d quarantined; summary written to %s\n",
+		st.Executed, st.CacheHits, st.Failed, st.Retries, st.CacheCorrupt, filepath.Join(*outDir, "summary.md"))
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "figures: interrupted; partial results flushed, re-run to resume")
+		exit(3)
+	}
 	if len(man.Errors) > 0 {
 		fmt.Fprintf(os.Stderr, "figures: %d section(s) failed; see %s\n", len(man.Errors), errPath)
 		exit(1)
 	}
+}
+
+// writeChaosArtifacts records what the injector did under <out>/.chaos/:
+// the injection log as JSONL and the injection counters in Prometheus
+// text format. The directory sits next to .cache and, like it, is
+// excluded from output-tree parity comparisons.
+func writeChaosArtifacts(in *chaos.Injector) error {
+	dir := filepath.Join(*outDir, ".chaos")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	var events bytes.Buffer
+	if err := in.WriteLog(&events); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "events.jsonl"), events.Bytes(), 0o644); err != nil {
+		return err
+	}
+	var metrics bytes.Buffer
+	if err := in.WritePrometheus(&metrics); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "metrics.txt"), metrics.Bytes(), 0o644)
 }
 
 func dur(long, short time.Duration) time.Duration {

@@ -14,6 +14,7 @@ import (
 
 	"starvation/internal/guard"
 	"starvation/internal/runner"
+	"starvation/internal/runner/chaos"
 )
 
 // withDirs points the output flags at temp dirs for one test.
@@ -58,7 +59,7 @@ func snapshotTree(t *testing.T, dir string) map[string]string {
 			return err
 		}
 		if d.IsDir() {
-			if d.Name() == ".cache" {
+			if d.Name() == ".cache" || d.Name() == ".chaos" {
 				return fs.SkipDir
 			}
 			return nil
@@ -355,6 +356,158 @@ func TestObsFilesRouted(t *testing.T) {
 	}
 	if _, err := os.Stat(filepath.Join(obsOut, "trace_events.jsonl")); err != nil {
 		t.Errorf("obs file not in -obs: %v", err)
+	}
+}
+
+// TestChaosParity is the capstone robustness invariant: a batch run
+// under injected orchestration faults — failing, panicking, and hanging
+// section bodies, corrupted cache entries, a truncated manifest — must
+// converge, through retries and quarantine, to an output tree and
+// console transcript byte-identical to the fault-free run.
+func TestChaosParity(t *testing.T) {
+	oldNow := timeNow
+	timeNow = func() time.Time { return time.Date(2022, 8, 22, 9, 0, 0, 0, time.UTC) }
+	defer func() { timeNow = oldNow }()
+
+	secs := fakeSections(12)
+
+	// Fault-free baseline.
+	outClean, _ := withDirs(t)
+	var cleanConsole strings.Builder
+	runDriver(t, secs, &cleanConsole, &runner.Pool{Jobs: 4})
+	cleanTree := snapshotTree(t, outClean)
+
+	// Chaos run: a cold pass under body faults, then sabotage of the
+	// persisted state, then a warm pass that must still converge.
+	spec, err := chaos.Parse("seed:1;fail:0.25;panic:0.15;hang:0.15,50ms;slow:0.2,2ms;corrupt:2;truncate-manifest:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := chaos.New(spec)
+	outChaos, _ := withDirs(t)
+	cacheDir := filepath.Join(outChaos, ".cache")
+	maniPath := filepath.Join(t.TempDir(), "manifest.json")
+	retry := runner.RetryPolicy{MaxAttempts: spec.RetryAttempts(), Seed: spec.Seed, Base: time.Millisecond}
+
+	var events []runner.ProgressEvent
+	progress := func(ev runner.ProgressEvent) { events = append(events, ev) } // pool serializes callbacks
+
+	cold := &runner.Pool{Jobs: 4, Cache: &runner.Cache{Dir: cacheDir},
+		Manifest: runner.LoadManifest(maniPath), Retry: retry, Progress: progress}
+	coldResults := cold.Run(context.Background(), in.Wrap(sectionJobs(secs, nil)))
+	if man := collectErrors(coldResults); len(man.Errors) != 0 {
+		t.Fatalf("cold chaos pass failed terminally: %+v", man.Errors)
+	}
+
+	if _, err := in.CorruptCache(cacheDir); err != nil {
+		t.Fatalf("CorruptCache: %v", err)
+	}
+	if cut, err := in.TruncateManifest(maniPath); err != nil || !cut {
+		t.Fatalf("TruncateManifest = %v, %v", cut, err)
+	}
+	manifest := runner.LoadManifest(maniPath)
+	if manifest.RecoveredFrom == "" {
+		t.Errorf("truncated manifest was not salvaged")
+	}
+
+	warm := &runner.Pool{Jobs: 4, Cache: &runner.Cache{Dir: cacheDir},
+		Manifest: manifest, Retry: retry, Progress: progress}
+	warmResults := warm.Run(context.Background(), in.Wrap(sectionJobs(secs, nil)))
+	man := collectErrors(warmResults)
+	if err := man.WriteFile(filepath.Join(outChaos, "errors.json")); err != nil {
+		t.Fatal(err)
+	}
+	var chaosConsole strings.Builder
+	if err := assemble(&chaosConsole, warmResults); err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	if len(man.Errors) != 0 {
+		t.Fatalf("warm chaos pass failed terminally: %+v", man.Errors)
+	}
+
+	// Parity: the chaos tree and transcript match the fault-free run
+	// byte for byte.
+	chaosTree := snapshotTree(t, outChaos)
+	if len(chaosTree) != len(cleanTree) {
+		t.Errorf("tree sizes differ: clean %d files, chaos %d", len(cleanTree), len(chaosTree))
+	}
+	for rel, want := range cleanTree {
+		if got, ok := chaosTree[rel]; !ok {
+			t.Errorf("chaos run missing %s", rel)
+		} else if got != want {
+			t.Errorf("%s differs between the fault-free and chaos runs", rel)
+		}
+	}
+	if chaosConsole.String() != cleanConsole.String() {
+		t.Errorf("console transcript differs between the fault-free and chaos runs")
+	}
+
+	// The faults must actually have fired: enough body failures to cover
+	// >=10%% of the batch, at least one hang, at least one corruption.
+	counts := in.Counts()
+	if in.BodyFaults() < 2 {
+		t.Errorf("only %d injected body faults over 12 sections, want >= 2 (10%% of the batch): %v",
+			in.BodyFaults(), counts)
+	}
+	if counts["hang"] < 1 {
+		t.Errorf("no hung job injected: %v", counts)
+	}
+	if counts["corrupt"] < 1 {
+		t.Errorf("no cache corruption injected: %v", counts)
+	}
+
+	// ... and be visible in progress events and the Prometheus counters.
+	retriesSeen := 0
+	for _, ev := range events {
+		if ev.Kind == runner.ProgressRetry {
+			retriesSeen++
+			if ev.Err == nil || ev.Attempt < 1 {
+				t.Errorf("retry event carries no failure context: %+v", ev)
+			}
+		}
+	}
+	if retriesSeen == 0 {
+		t.Errorf("no retry progress events despite %d injected faults", in.BodyFaults())
+	}
+	if st := warm.Stats(); st.CacheCorrupt < 1 {
+		t.Errorf("warm stats = %+v, want quarantined cache entries counted", st)
+	}
+	var prom strings.Builder
+	if err := warm.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	for _, metric := range []string{"starvesim_runner_retries_total", "starvesim_runner_cache_corrupt_total"} {
+		if !strings.Contains(prom.String(), metric) {
+			t.Errorf("Prometheus export missing %s", metric)
+		}
+	}
+}
+
+// TestListSectionsAnnotated checks -list surfaces the manifest: outcome
+// and attempt counts per section, plus the salvage note after damage.
+func TestListSectionsAnnotated(t *testing.T) {
+	m := runner.LoadManifest("") // in-memory
+	if err := m.Record("F1", "aaaa", runner.StatusDone, nil, 3, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Record("F3", "bbbb", runner.StatusFailed,
+		&guard.RunError{Scenario: "F3", Kind: guard.KindDeadline, Msg: "slow"}, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	m.RecoveredFrom = "recovered 2 complete entries from damaged manifest (99 bytes)"
+
+	var buf strings.Builder
+	listSections(&buf, m)
+	out := buf.String()
+	for _, want := range []string{
+		"# manifest: recovered 2 complete entries",
+		"F1\t[done, 3 attempts]",
+		"F3\t[failed]",
+		"X-POP\n", // unrecorded sections list bare
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-list output missing %q:\n%s", want, out)
+		}
 	}
 }
 

@@ -1,0 +1,146 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"starvation/internal/runner"
+	"starvation/internal/runner/chaos"
+)
+
+// defaultSelfTestSpec is the canned fault mix `-chaos default` selects:
+// enough of every fault kind that one self-test exercises body errors,
+// panics, hangs, slow workers, cache quarantine, and manifest recovery.
+const defaultSelfTestSpec = "seed:1;fail:0.3;panic:0.15;hang:0.1,150ms;slow:0.25,5ms;corrupt:2;truncate-manifest:1"
+
+// runChaosSelfTest executes the orchestration chaos self-test: a
+// synthetic deterministic batch run twice under injected faults — a cold
+// pass that must converge through retries, then a warm pass over a
+// sabotaged cache and manifest that must converge through quarantine and
+// salvage — with every artifact required to be byte-identical to a
+// fault-free baseline. Exits 0 on success, 1 on divergence, 2 on a bad
+// spec, 3 when interrupted.
+func runChaosSelfTest(ctx context.Context, specStr string, jobsN int) {
+	if specStr == "default" {
+		specStr = defaultSelfTestSpec
+	}
+	spec, err := chaos.Parse(specStr)
+	if err != nil {
+		usagef("starvesim: %v", err)
+	}
+
+	const n = 16
+	mkJobs := func() []runner.Job {
+		jobs := make([]runner.Job, n)
+		for i := range jobs {
+			id := fmt.Sprintf("chaos-%02d", i)
+			payload := []byte(fmt.Sprintf("artifact %s: deterministic bytes %d\n", id, i*i))
+			jobs[i] = runner.Job{
+				ID:  id,
+				Key: runner.Key{Kind: "chaos-selftest", Scenario: id},
+				Run: func(ctx context.Context) ([]byte, error) {
+					if err := ctx.Err(); err != nil {
+						return nil, err
+					}
+					return payload, nil
+				},
+			}
+		}
+		return jobs
+	}
+
+	// Fault-free baseline: the bytes both chaos passes must reproduce.
+	baseline := (&runner.Pool{Jobs: jobsN}).Run(ctx, mkJobs())
+
+	dir, err := os.MkdirTemp("", "starvesim-chaos-")
+	if err != nil {
+		fatalf("starvesim: %v", err)
+	}
+	defer os.RemoveAll(dir)
+	cacheDir := filepath.Join(dir, "cache")
+	maniPath := filepath.Join(dir, "manifest.json")
+	injector := chaos.New(spec)
+	retry := runner.RetryPolicy{
+		MaxAttempts: spec.RetryAttempts(),
+		Seed:        spec.Seed,
+		Base:        2 * time.Millisecond, // injected failures are expected; back off fast
+	}
+	progress := func(ev runner.ProgressEvent) {
+		if ev.Kind == runner.ProgressRetry {
+			fmt.Fprintf(os.Stderr, "starvesim: %s attempt %d failed (%s); retrying\n",
+				ev.Job, ev.Attempt, ev.Err.Kind)
+		}
+	}
+
+	// Cold pass: every body runs under injected faults and must converge
+	// inside the retry budget.
+	cold := &runner.Pool{
+		Jobs:     jobsN,
+		Cache:    &runner.Cache{Dir: cacheDir},
+		Manifest: runner.LoadManifest(maniPath),
+		Retry:    retry,
+		Progress: progress,
+	}
+	coldResults := cold.Run(ctx, injector.Wrap(mkJobs()))
+
+	// Sabotage the persisted state, then run warm: quarantined cache
+	// entries re-run, the truncated manifest salvages, and the batch still
+	// converges.
+	if spec.CorruptN > 0 {
+		if _, err := injector.CorruptCache(cacheDir); err != nil {
+			fatalf("starvesim: corrupting cache: %v", err)
+		}
+	}
+	if _, err := injector.TruncateManifest(maniPath); err != nil {
+		fatalf("starvesim: truncating manifest: %v", err)
+	}
+	manifest := runner.LoadManifest(maniPath)
+	if manifest.RecoveredFrom != "" {
+		fmt.Fprintf(os.Stderr, "starvesim: manifest: %s\n", manifest.RecoveredFrom)
+	}
+	warm := &runner.Pool{
+		Jobs:     jobsN,
+		Cache:    &runner.Cache{Dir: cacheDir},
+		Manifest: manifest,
+		Retry:    retry,
+		Progress: progress,
+	}
+	warmResults := warm.Run(ctx, injector.Wrap(mkJobs()))
+
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "starvesim: interrupted")
+		stopProfiles()
+		os.Exit(3)
+	}
+
+	bad := 0
+	check := func(pass string, results []runner.JobResult) {
+		for i, res := range results {
+			switch {
+			case res.Err != nil:
+				fmt.Fprintf(os.Stderr, "starvesim: chaos self-test: %s pass: %s failed terminally: %v\n",
+					pass, res.ID, res.Err)
+				bad++
+			case !bytes.Equal(res.Artifact, baseline[i].Artifact):
+				fmt.Fprintf(os.Stderr, "starvesim: chaos self-test: %s pass: %s diverged from the fault-free run\n",
+					pass, res.ID)
+				bad++
+			}
+		}
+	}
+	check("cold", coldResults)
+	check("warm", warmResults)
+
+	coldStats, warmStats := cold.Stats(), warm.Stats()
+	fmt.Printf("chaos self-test: %d jobs: cold pass %d retried; warm pass %d quarantined, %d re-run, %d cached\n",
+		n, coldStats.Retries, warmStats.CacheCorrupt, warmStats.Executed, warmStats.CacheHits)
+	fmt.Println(injector.Summary())
+	if bad > 0 {
+		fatalf("starvesim: chaos self-test FAILED: %d divergence(s)", bad)
+	}
+	fmt.Println("chaos self-test passed: all artifacts byte-identical to the fault-free run")
+}

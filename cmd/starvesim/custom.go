@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
@@ -46,6 +47,7 @@ type customFlags struct {
 	seed         int64
 	guard        *guard.Options           // nil disables the run-guard layer
 	telemetry    *network.TelemetryConfig // nil disables the flight recorder
+	ctx          context.Context          // nil runs uninterruptible
 }
 
 // runCustom assembles and runs the freeform scenario, streaming events to
@@ -107,6 +109,7 @@ func runCustom(f customFlags, probe obs.Probe) (*network.Result, error) {
 		Seed:         f.seed,
 		Probe:        probe,
 		Telemetry:    f.telemetry,
+		Ctx:          f.ctx,
 	}
 	// NewChecked, not New: a malformed CLI config is a usage error the
 	// caller reports in one line (exit 2), not a panic trace.

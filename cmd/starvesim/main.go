@@ -45,8 +45,19 @@
 //
 //	starvesim -cca allegro -cca2 allegro -faults "ge:0.008,0.2,0.5;flap:5s,200ms"
 //
+// -chaos <spec> runs the orchestration chaos self-test instead of an
+// experiment: a synthetic batch is executed under injected faults (see
+// internal/runner/chaos for the spec grammar; "default" selects a canned
+// spec) and must converge, via retries and cache quarantine, to artifacts
+// byte-identical to a fault-free run.
+//
+// An interrupt (SIGINT or SIGTERM) cancels the run context: the event
+// loop halts at the next tick, the trace/metrics/telemetry exporters
+// flush what the truncated run produced, and the command exits 3.
+//
 // Exit status: 0 on success, 1 on runtime failure (unknown scenario,
-// guard deadline), 2 on a malformed configuration.
+// guard deadline), 2 on a malformed configuration, 3 after an interrupt
+// with a clean drain.
 package main
 
 import (
@@ -54,8 +65,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"starvation/internal/guard"
@@ -107,6 +120,8 @@ func main() {
 		loss1  = flag.Float64("loss", 0, "freeform mode: flow 0 random loss probability")
 		ackPer = flag.Duration("ackagg", 0, "freeform mode: flow 0 ACK aggregation period")
 
+		chaosArg = flag.String("chaos", "", "run the orchestration chaos self-test with this fault spec (\"default\" for a canned one; see internal/runner/chaos)")
+
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	)
@@ -118,6 +133,16 @@ func main() {
 	}
 	stopProfiles = stop
 	defer stopProfiles()
+
+	// An interrupt cancels this context; every mode threads it into its
+	// run so the event loop halts at the next tick and exporters flush.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
+	if *chaosArg != "" {
+		runChaosSelfTest(ctx, *chaosArg, *jobsN)
+		return
+	}
 
 	observing := *tracePath != "" || *metricsPath != "" || *watchEvery > 0
 	if observing && *name == "all" {
@@ -173,7 +198,7 @@ func main() {
 		pr, err := runPopulation(populationFlags{
 			flowsSpec: *flows, topoSpec: *topology,
 			rateMbps: *rate, bufPkts: *buffer, epsilon: *epsilon,
-			duration: d, seed: s, guard: guardOpts, telemetry: tcfg,
+			duration: d, seed: s, guard: guardOpts, telemetry: tcfg, ctx: ctx,
 		}, runProbe)
 		if err != nil {
 			usagef("starvesim: %v", err)
@@ -184,7 +209,7 @@ func main() {
 			fmt.Print(pr.Stats)
 		}
 		fmt.Println(pr.Net)
-		finishRun(sink, watch, pr.Net, "population", s)
+		finishRun(ctx, sink, watch, pr.Net, "population", s)
 		return
 	}
 
@@ -202,7 +227,7 @@ func main() {
 			rateMbps: *rate, bufferPkts: *buffer,
 			rm1: *rm1, rm2: *rm2,
 			jitterSpec: *jspec, loss1: *loss1, faultsSpec: *fspec, ackAggregate: *ackPer,
-			duration: d, seed: s, guard: guardOpts, telemetry: tcfg,
+			duration: d, seed: s, guard: guardOpts, telemetry: tcfg, ctx: ctx,
 		}, runProbe)
 		if err != nil {
 			// Everything runCustom can fail on is configuration: a typo'd
@@ -210,7 +235,7 @@ func main() {
 			usagef("starvesim: %v", err)
 		}
 		fmt.Println(res)
-		finishRun(sink, watch, res, "custom", s)
+		finishRun(ctx, sink, watch, res, "custom", s)
 		return
 	}
 
@@ -225,7 +250,7 @@ func main() {
 		return
 	}
 
-	opts := scenario.Opts{Seed: *seed, Duration: *duration, Probe: runProbe, Guard: guardOpts, Telemetry: tcfg}
+	opts := scenario.Opts{Seed: *seed, Duration: *duration, Probe: runProbe, Guard: guardOpts, Telemetry: tcfg, Ctx: ctx}
 	if *sweepN > 0 {
 		if *name == "" || *name == "all" {
 			usagef("starvesim: -sweep needs a single -scenario name")
@@ -233,21 +258,24 @@ func main() {
 		if observing {
 			usagef("starvesim: -trace/-metrics observe one run; they cannot attach to a -sweep")
 		}
-		runSweep(*name, *seed, *sweepN, *sweepJobs, *duration, guardOpts)
+		runSweep(ctx, *name, *seed, *sweepN, *sweepJobs, *duration, guardOpts)
 		return
 	}
 	if *name == "all" {
-		runAll(*jobsN, opts)
+		runAll(ctx, *jobsN, opts)
 	}
 	res := run(*name, opts)
-	finishRun(sink, watch, res, *name, *seed)
+	finishRun(ctx, sink, watch, res, *name, *seed)
 }
 
 // finishRun closes the run's observers in order — live view first (its
 // final state line), then the sink (surfacing any export failure as a
 // structured guard.KindExport RunError) — and exits non-zero on export or
-// guard failure.
-func finishRun(sink *obsSink, watch *watcher, res *network.Result, name string, seed int64) {
+// guard failure. An interrupted run exits 3 after the drain: the
+// exporters flushed what the truncated run produced, and the interrupt —
+// not whatever the halted simulation looks like to the guard — is the
+// outcome callers should see.
+func finishRun(ctx context.Context, sink *obsSink, watch *watcher, res *network.Result, name string, seed int64) {
 	if watch != nil {
 		watch.halt()
 	}
@@ -255,6 +283,11 @@ func finishRun(sink *obsSink, watch *watcher, res *network.Result, name string, 
 	if rerr := sink.finish(res, name, seed); rerr != nil {
 		fmt.Fprintln(os.Stderr, rerr.Error())
 		code = 1
+	}
+	if ctx != nil && ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "starvesim: interrupted; partial outputs flushed")
+		stopProfiles()
+		os.Exit(3)
 	}
 	if guardFailed(res) {
 		fmt.Fprintln(os.Stderr, res.Guard.String())
@@ -268,12 +301,13 @@ func finishRun(sink *obsSink, watch *watcher, res *network.Result, name string, 
 
 // runAll executes every registered scenario, -jobs at a time, and prints
 // the reports in sorted scenario order regardless of completion order.
-// It exits the process with 1 when any guarded run failed.
-func runAll(jobs int, opts scenario.Opts) {
+// It exits the process with 1 when any guarded run failed, 3 when the
+// batch was interrupted.
+func runAll(ctx context.Context, jobs int, opts scenario.Opts) {
 	names := scenario.Names()
 	outputs := make([]string, len(names))
 	failed := make([]bool, len(names))
-	_ = runner.ForEach(context.Background(), jobs, len(names), func(ctx context.Context, i int) error {
+	_ = runner.ForEach(ctx, jobs, len(names), func(ctx context.Context, i int) error {
 		o := opts
 		o.Ctx = ctx
 		start := time.Now()
@@ -293,13 +327,17 @@ func runAll(jobs int, opts scenario.Opts) {
 			code = 1
 		}
 	}
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "starvesim: interrupted; completed scenarios printed")
+		code = 3
+	}
 	stopProfiles()
 	os.Exit(code)
 }
 
 // runSweep runs one scenario across n consecutive seeds and prints one
 // observables line per seed, in seed order.
-func runSweep(name string, baseSeed int64, n, jobs int, duration time.Duration, guardOpts *guard.Options) {
+func runSweep(ctx context.Context, name string, baseSeed int64, n, jobs int, duration time.Duration, guardOpts *guard.Options) {
 	if baseSeed == 0 {
 		baseSeed = 2 // the documented reference realization
 	}
@@ -307,9 +345,14 @@ func runSweep(name string, baseSeed int64, n, jobs int, duration time.Duration, 
 	for i := range seeds {
 		seeds[i] = baseSeed + int64(i)
 	}
-	results, err := scenario.SeedSweep(context.Background(), name, seeds, jobs,
+	results, err := scenario.SeedSweep(ctx, name, seeds, jobs,
 		scenario.Opts{Duration: duration, Guard: guardOpts})
 	if err != nil {
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "starvesim: interrupted")
+			stopProfiles()
+			os.Exit(3)
+		}
 		fatalf("starvesim: %v", err)
 	}
 	fmt.Printf("%s across seeds %d..%d:\n", name, seeds[0], seeds[n-1])

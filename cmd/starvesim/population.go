@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"time"
 
 	"starvation/internal/core"
@@ -25,6 +26,7 @@ type populationFlags struct {
 	seed      int64
 	guard     *guard.Options
 	telemetry *network.TelemetryConfig // nil disables the flight recorder
+	ctx       context.Context          // nil runs uninterruptible
 }
 
 // runPopulation assembles and runs the freeform population experiment.
@@ -47,6 +49,7 @@ func runPopulation(f populationFlags, probe obs.Probe) (*core.PopulationResult, 
 		Guard:      f.guard,
 		Probe:      probe,
 		Telemetry:  f.telemetry,
+		Ctx:        f.ctx,
 	}
 	if topo.Links == nil {
 		cfg.Rate = units.Mbps(f.rateMbps)

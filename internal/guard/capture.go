@@ -30,6 +30,23 @@ const (
 	KindExport ErrKind = "export"
 )
 
+// Retryable reports whether a failure of this kind is worth re-running:
+// the fault is transient or environmental rather than a property of the
+// configuration itself. Panics, blown deadlines, export failures, and
+// ordinary errors all qualify — a flaky scenario, a hung job, or a full
+// disk can succeed on the next attempt. Cancellation is terminal (the
+// batch is going away, retrying fights the operator) and invariant
+// violations are terminal (the run *completed* and produced provably
+// wrong data; running it again deterministically reproduces the breach).
+// This table is the supervision contract internal/runner enforces.
+func (k ErrKind) Retryable() bool {
+	switch k {
+	case KindPanic, KindDeadline, KindExport, KindError:
+		return true
+	}
+	return false
+}
+
 // RunError is the structured failure of one scenario run: enough context
 // (scenario ID, seed, last observed event) to reproduce the failure
 // offline, in a form a batch driver can serialize and skip past.

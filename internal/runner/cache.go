@@ -7,12 +7,26 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 )
+
+// CorruptDirName is the subdirectory of a cache root that quarantined
+// entries are moved into, preserved for offline forensics (what got
+// corrupted, and how) instead of being silently overwritten.
+const CorruptDirName = "corrupt"
 
 // Cache is the content-addressed on-disk result store. Entries are
 // addressed by Key fingerprint: <Dir>/<fp[:2]>/<fp>.json, each a JSON
 // envelope carrying the artifact plus enough integrity metadata that a
 // corrupted or mismatched entry reads as a miss, never as bad data.
+//
+// A defective entry — an envelope that does not decode, or an artifact
+// whose checksum does not match — is quarantined: the file moves to
+// <Dir>/corrupt/, the corruption counter bumps, and one structured
+// warning is emitted. The read still reports a miss, so the caller
+// re-runs the job and the fresh Put heals the cache. A schema-version
+// mismatch is not corruption (it is a deliberate invalidation) and reads
+// as a plain miss.
 type Cache struct {
 	// Dir is the cache root; it is created on first Put.
 	Dir string
@@ -21,6 +35,23 @@ type Cache struct {
 	// version participates in the fingerprint and is checked again inside
 	// the envelope.
 	Schema int
+	// Warn, when non-nil, receives the one structured warning emitted per
+	// quarantined entry. Nil writes a JSON line to stderr.
+	Warn func(CorruptionEvent)
+
+	corrupt atomic.Int64
+}
+
+// CorruptionEvent describes one quarantined cache entry.
+type CorruptionEvent struct {
+	// Fingerprint is the entry's content address.
+	Fingerprint string `json:"fingerprint"`
+	// Reason says what failed: "undecodable envelope" or "artifact
+	// checksum mismatch".
+	Reason string `json:"reason"`
+	// Quarantined is the path the defective file was moved to (empty when
+	// the move itself failed and the file was left in place).
+	Quarantined string `json:"quarantined,omitempty"`
 }
 
 // entry is the on-disk envelope of one cached artifact.
@@ -50,10 +81,15 @@ func (c *Cache) path(fp string) string {
 	return filepath.Join(c.Dir, fp[:2], fp+".json")
 }
 
-// Get returns the cached artifact for the fingerprint. Any defect — a
-// missing file, invalid JSON, a schema mismatch, or an artifact whose
-// checksum does not match — is a miss: the caller re-runs the job and
-// overwrites the entry.
+// CorruptCount returns the number of entries quarantined by this Cache
+// value since creation.
+func (c *Cache) CorruptCount() int64 { return c.corrupt.Load() }
+
+// Get returns the cached artifact for the fingerprint. A missing file or
+// a schema mismatch is a plain miss. A defective entry — undecodable
+// envelope or checksum-mismatched artifact — is quarantined (see the
+// type comment) and also reads as a miss: the caller re-runs the job and
+// the fresh Put overwrites the address.
 func (c *Cache) Get(fp string) ([]byte, bool) {
 	data, err := os.ReadFile(c.path(fp))
 	if err != nil {
@@ -61,6 +97,7 @@ func (c *Cache) Get(fp string) ([]byte, bool) {
 	}
 	var e entry
 	if err := json.Unmarshal(data, &e); err != nil {
+		c.quarantine(fp, "undecodable envelope")
 		return nil, false
 	}
 	if e.Schema != c.schema() {
@@ -68,9 +105,34 @@ func (c *Cache) Get(fp string) ([]byte, bool) {
 	}
 	sum := sha256.Sum256(e.Artifact)
 	if hex.EncodeToString(sum[:]) != e.Sum {
+		c.quarantine(fp, "artifact checksum mismatch")
 		return nil, false
 	}
 	return e.Artifact, true
+}
+
+// quarantine moves a defective entry into the corrupt/ subdirectory,
+// bumps the corruption counter, and emits one structured warning. If the
+// move fails the file is left where it is (the next Put overwrites it);
+// the counter and warning still fire so the defect is never silent.
+func (c *Cache) quarantine(fp, reason string) {
+	c.corrupt.Add(1)
+	ev := CorruptionEvent{Fingerprint: fp, Reason: reason}
+	dst := filepath.Join(c.Dir, CorruptDirName, fp+".json")
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err == nil {
+		if err := os.Rename(c.path(fp), dst); err == nil {
+			ev.Quarantined = dst
+		}
+	}
+	if c.Warn != nil {
+		c.Warn(ev)
+		return
+	}
+	line, err := json.Marshal(ev)
+	if err != nil {
+		line = []byte(fmt.Sprintf("%+v", ev))
+	}
+	fmt.Fprintf(os.Stderr, "runner: cache entry quarantined: %s\n", line)
 }
 
 // Put stores the artifact under the fingerprint, writing to a temp file

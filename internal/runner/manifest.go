@@ -1,7 +1,9 @@
 package runner
 
 import (
+	"bytes"
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"sync"
@@ -26,6 +28,13 @@ type ManifestEntry struct {
 	// configuration changed) even though the ID matches.
 	Fingerprint string    `json:"fingerprint"`
 	Status      JobStatus `json:"status"`
+	// Attempts counts body executions behind this outcome (0 when the
+	// artifact came straight from the cache).
+	Attempts int `json:"attempts,omitempty"`
+	// History lists the failed attempts the retry policy absorbed before
+	// this outcome; it survives resume so a flaky section stays visible
+	// after the batch completes.
+	History []AttemptError `json:"history,omitempty"`
 	// Err carries the structured failure when Status is "failed".
 	Err *guard.RunError `json:"err,omitempty"`
 }
@@ -45,14 +54,23 @@ type Manifest struct {
 	// Path is the manifest file; empty disables persistence (the
 	// manifest still tracks state in memory).
 	Path string
+	// RecoveredFrom describes the salvage LoadManifest performed when the
+	// file on disk was truncated or corrupt: how many complete entries it
+	// recovered and from how many bytes. Empty for a cleanly parsed (or
+	// absent) manifest. Diagnostic only — the next Record rewrites the
+	// file whole.
+	RecoveredFrom string
 
 	mu   sync.Mutex
 	jobs map[string]ManifestEntry
 }
 
-// LoadManifest reads the manifest at path, returning an empty manifest
-// when the file does not exist or does not parse (a torn write during an
-// interrupt must never block resumption — affected jobs just re-run).
+// LoadManifest reads the manifest at path. A missing file yields an empty
+// manifest. A truncated or corrupt file — a torn write during an
+// interrupt, a chaos-injected truncation — is salvaged entry by entry:
+// every job record that decodes completely is recovered (those jobs
+// resume from cache), the damage is noted in RecoveredFrom, and only the
+// incomplete trailing record is lost and re-runs.
 func LoadManifest(path string) *Manifest {
 	m := &Manifest{Path: path, jobs: map[string]ManifestEntry{}}
 	data, err := os.ReadFile(path)
@@ -60,13 +78,92 @@ func LoadManifest(path string) *Manifest {
 		return m
 	}
 	var f manifestFile
-	if err := json.Unmarshal(data, &f); err != nil || f.Schema != SchemaVersion {
+	if err := json.Unmarshal(data, &f); err == nil {
+		if f.Schema != SchemaVersion {
+			return m // a different schema's outcomes don't resume this one
+		}
+		if f.Jobs != nil {
+			m.jobs = f.Jobs
+		}
 		return m
 	}
-	if f.Jobs != nil {
-		m.jobs = f.Jobs
+	if jobs, ok := recoverManifest(data); ok {
+		m.jobs = jobs
+		m.RecoveredFrom = fmt.Sprintf("recovered %d complete entr%s from damaged manifest (%d bytes)",
+			len(jobs), plural(len(jobs), "y", "ies"), len(data))
 	}
 	return m
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
+}
+
+// recoverManifest walks the token stream of a damaged manifest file and
+// collects every job entry that decodes completely before the damage.
+// It reports ok=false when the bytes don't even begin as this manifest's
+// schema — arbitrary garbage recovers nothing.
+func recoverManifest(data []byte) (map[string]ManifestEntry, bool) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	if tok, err := dec.Token(); err != nil || tok != json.Delim('{') {
+		return nil, false
+	}
+	jobs := map[string]ManifestEntry{}
+	sawSchema := false
+fields:
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			break
+		}
+		key, isKey := tok.(string)
+		if !isKey {
+			break // the object's closing '}' (or damage)
+		}
+		switch key {
+		case "schema":
+			var v int
+			if err := dec.Decode(&v); err != nil || v != SchemaVersion {
+				return nil, false
+			}
+			sawSchema = true
+		case "jobs":
+			if !sawSchema {
+				// Schema unseen: these entries may belong to an
+				// incompatible version; refuse to resume from them.
+				return nil, false
+			}
+			if tok, err := dec.Token(); err != nil || tok != json.Delim('{') {
+				return jobs, true
+			}
+			for {
+				tok, err := dec.Token()
+				if err != nil {
+					return jobs, true
+				}
+				id, isID := tok.(string)
+				if !isID {
+					break // jobs object closed cleanly
+				}
+				var e ManifestEntry
+				if err := dec.Decode(&e); err != nil {
+					// The entry the damage fell in: drop it, keep the rest.
+					return jobs, true
+				}
+				jobs[id] = e
+			}
+		default:
+			// Unknown field (a future addition): skip its value.
+			var skip json.RawMessage
+			if err := dec.Decode(&skip); err != nil {
+				break fields
+			}
+		}
+	}
+	return jobs, sawSchema
 }
 
 // Done reports whether the manifest records the job as completed under
@@ -93,15 +190,17 @@ func (m *Manifest) Len() int {
 	return len(m.jobs)
 }
 
-// Record stores a job outcome and flushes the manifest to disk. Flush
-// failures are returned but the in-memory record is kept either way: a
-// read-only filesystem degrades resume, not the batch itself.
-func (m *Manifest) Record(id, fp string, status JobStatus, rerr *guard.RunError) error {
+// Record stores a job outcome — including its attempt count and the
+// failed attempts the retry policy absorbed — and flushes the manifest
+// to disk. Flush errors are returned but the in-memory record is kept
+// either way: a read-only filesystem degrades resume, not the batch
+// itself.
+func (m *Manifest) Record(id, fp string, status JobStatus, rerr *guard.RunError, attempts int, history []AttemptError) error {
 	m.mu.Lock()
 	if m.jobs == nil {
 		m.jobs = map[string]ManifestEntry{}
 	}
-	m.jobs[id] = ManifestEntry{Fingerprint: fp, Status: status, Err: rerr}
+	m.jobs[id] = ManifestEntry{Fingerprint: fp, Status: status, Attempts: attempts, History: history, Err: rerr}
 	data, err := json.MarshalIndent(manifestFile{Schema: SchemaVersion, Jobs: m.jobs}, "", "  ")
 	m.mu.Unlock()
 	if err != nil || m.Path == "" {

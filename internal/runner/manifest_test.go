@@ -19,11 +19,15 @@ func TestManifestRoundTrip(t *testing.T) {
 	if m.Len() != 0 {
 		t.Fatalf("fresh manifest has %d entries", m.Len())
 	}
-	if err := m.Record("F1", "aaaa", StatusDone, nil); err != nil {
+	if err := m.Record("F1", "aaaa", StatusDone, nil, 1, nil); err != nil {
 		t.Fatalf("Record: %v", err)
 	}
 	rerr := &guard.RunError{Scenario: "F3", Kind: guard.KindDeadline, Msg: "too slow"}
-	if err := m.Record("F3", "bbbb", StatusFailed, rerr); err != nil {
+	hist := []AttemptError{
+		{Attempt: 1, Kind: guard.KindDeadline, Msg: "too slow"},
+		{Attempt: 2, Kind: guard.KindDeadline, Msg: "too slow"},
+	}
+	if err := m.Record("F3", "bbbb", StatusFailed, rerr, 2, hist); err != nil {
 		t.Fatalf("Record: %v", err)
 	}
 
@@ -40,6 +44,9 @@ func TestManifestRoundTrip(t *testing.T) {
 	e, ok := re.Entry("F3")
 	if !ok || e.Err == nil || e.Err.Kind != guard.KindDeadline {
 		t.Errorf("F3 entry = %+v, %v; want preserved deadline error", e, ok)
+	}
+	if e.Attempts != 2 || len(e.History) != 2 || e.History[1].Attempt != 2 {
+		t.Errorf("F3 attempt history = attempts %d history %+v; want 2 attempts with full history", e.Attempts, e.History)
 	}
 }
 

@@ -1,0 +1,162 @@
+package runner
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"starvation/internal/guard"
+)
+
+// Retry backoff defaults, applied when the corresponding RetryPolicy
+// field is zero.
+const (
+	// DefaultRetryBase is the first-retry backoff delay.
+	DefaultRetryBase = 100 * time.Millisecond
+	// DefaultRetryMax caps the exponential backoff.
+	DefaultRetryMax = 5 * time.Second
+	// DefaultRetryJitter is the ±fraction of deterministic jitter applied
+	// to every backoff delay.
+	DefaultRetryJitter = 0.5
+)
+
+// RetryPolicy is the supervision contract of a Pool: how many times a
+// failing job is re-attempted, how long the pool backs off between
+// attempts, and which failure kinds are worth retrying at all.
+//
+// Backoff is exponential with deterministic seeded jitter: the delay
+// before attempt k+1 is Base·2^(k-1), capped at Max, scaled by a factor
+// in [1-Jitter, 1+Jitter] derived from (Seed, job ID, attempt). Two runs
+// of the same batch with the same seed back off identically — retry
+// timing is as reproducible as the simulations themselves, which is what
+// lets the chaos parity tests assert byte-identical outcomes.
+//
+// The zero RetryPolicy disables retries (every job gets one attempt),
+// preserving the pre-supervision Pool behavior.
+type RetryPolicy struct {
+	// MaxAttempts bounds the total attempts per job; values <= 1 disable
+	// retries.
+	MaxAttempts int
+	// Base is the first-retry delay (0 selects DefaultRetryBase).
+	Base time.Duration
+	// Max caps the exponential backoff (0 selects DefaultRetryMax).
+	Max time.Duration
+	// Jitter is the ±fraction of deterministic jitter (0 selects
+	// DefaultRetryJitter; negative disables jitter entirely).
+	Jitter float64
+	// Seed drives the deterministic jitter.
+	Seed int64
+	// Retryable overrides retryability per failure kind; kinds absent
+	// from a non-nil map are terminal. A nil map selects the guard-layer
+	// default table (guard.ErrKind.Retryable): panic, deadline, export,
+	// and error retry; cancelled and invariant are terminal.
+	Retryable map[guard.ErrKind]bool
+}
+
+// Enabled reports whether the policy grants any retries.
+func (rp RetryPolicy) Enabled() bool { return rp.MaxAttempts > 1 }
+
+func (rp RetryPolicy) maxAttempts() int {
+	if rp.MaxAttempts > 1 {
+		return rp.MaxAttempts
+	}
+	return 1
+}
+
+// retryable reports whether a failure of kind k should be re-attempted
+// under this policy.
+func (rp RetryPolicy) retryable(k guard.ErrKind) bool {
+	if rp.Retryable != nil {
+		return rp.Retryable[k]
+	}
+	return k.Retryable()
+}
+
+// Backoff returns the deterministic delay before the retry that follows
+// failed attempt number attempt (1-based) of the given job.
+func (rp RetryPolicy) Backoff(jobID string, attempt int) time.Duration {
+	base := rp.Base
+	if base <= 0 {
+		base = DefaultRetryBase
+	}
+	max := rp.Max
+	if max <= 0 {
+		max = DefaultRetryMax
+	}
+	d := base
+	for i := 1; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	jit := rp.Jitter
+	if jit == 0 {
+		jit = DefaultRetryJitter
+	}
+	if jit > 0 {
+		// Deterministic factor in [1-jit, 1+jit): reruns of a batch back
+		// off identically for the same seed.
+		u := SeededUnit(rp.Seed, "backoff", jobID, fmt.Sprint(attempt))
+		d = time.Duration(float64(d) * (1 - jit + 2*jit*u))
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// AttemptError is the compact record of one failed attempt, kept in
+// JobResult and the batch manifest so attempt history survives resume.
+type AttemptError struct {
+	// Attempt is the 1-based attempt number that failed.
+	Attempt int `json:"attempt"`
+	// Kind classifies the failure (guard.ErrKind).
+	Kind guard.ErrKind `json:"kind"`
+	// Msg is the failure message, truncated for manifest hygiene.
+	Msg string `json:"msg"`
+}
+
+// attemptErrMsgMax bounds the message kept per attempt; stacks and long
+// wrapped errors live in the terminal RunError, not the history.
+const attemptErrMsgMax = 200
+
+func attemptError(attempt int, rerr *guard.RunError) AttemptError {
+	msg := rerr.Msg
+	if len(msg) > attemptErrMsgMax {
+		msg = msg[:attemptErrMsgMax] + "…"
+	}
+	return AttemptError{Attempt: attempt, Kind: rerr.Kind, Msg: msg}
+}
+
+// SeededUnit hashes (seed, parts...) into a uniform float64 in [0, 1).
+// It is the deterministic randomness source shared by retry jitter and
+// the chaos injector: FNV-1a, so the mapping is stable across platforms
+// and Go versions.
+func SeededUnit(seed int64, parts ...string) float64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d", seed)
+	for _, p := range parts {
+		h.Write([]byte{0})
+		h.Write([]byte(p))
+	}
+	// 53 bits of hash → [0,1) exactly representable in a float64.
+	return float64(h.Sum64()>>11) / float64(1<<53)
+}
+
+// sleepCtx waits d or until ctx is cancelled, reporting whether the full
+// wait completed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

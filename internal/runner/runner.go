@@ -51,8 +51,15 @@ type JobResult struct {
 	// Cached reports the artifact was restored from the cache without
 	// re-simulating.
 	Cached bool
-	// Elapsed is the wall-clock execution time (0 for cache hits).
+	// Elapsed is the wall-clock execution time of the final attempt
+	// (0 for cache hits).
 	Elapsed time.Duration
+	// Attempts counts executions of the job body (0 for cache hits,
+	// 1 for a first-attempt success, more when the retry policy fired).
+	Attempts int
+	// History records every failed attempt, including — on a terminal
+	// failure — the final one (which Err carries in full).
+	History []AttemptError
 	// Err is the structured failure, nil on success.
 	Err *guard.RunError
 }
@@ -67,8 +74,13 @@ const (
 	ProgressDone
 	// ProgressCached: the job was restored from the cache.
 	ProgressCached
-	// ProgressFailed: the job failed (panic, error, deadline, cancel).
+	// ProgressFailed: the job failed terminally (panic, error, deadline,
+	// cancel — with no retry budget left or a non-retryable kind).
 	ProgressFailed
+	// ProgressRetry: an attempt failed but the retry policy grants
+	// another; Err carries the attempt's failure, Attempt the attempt
+	// number that failed. Not a terminal event — Done does not advance.
+	ProgressRetry
 )
 
 func (k ProgressKind) String() string {
@@ -81,6 +93,8 @@ func (k ProgressKind) String() string {
 		return "cached"
 	case ProgressFailed:
 		return "failed"
+	case ProgressRetry:
+		return "retry"
 	}
 	return fmt.Sprintf("progress(%d)", uint8(k))
 }
@@ -94,9 +108,12 @@ type ProgressEvent struct {
 	// Done and Total count completed (done+cached+failed) jobs and the
 	// batch size, for "3/12"-style reporting.
 	Done, Total int
-	// Elapsed is the job's execution time (ProgressDone/ProgressFailed).
+	// Elapsed is the job's execution time (ProgressDone/ProgressFailed/
+	// ProgressRetry).
 	Elapsed time.Duration
-	// Err accompanies ProgressFailed.
+	// Attempt is the 1-based attempt number this event belongs to.
+	Attempt int
+	// Err accompanies ProgressFailed and ProgressRetry.
 	Err *guard.RunError
 }
 
@@ -109,6 +126,12 @@ type Stats struct {
 	CacheHits int64 `json:"cache_hits"`
 	// Failed counts jobs that ended in a RunError.
 	Failed int64 `json:"failed"`
+	// Retries counts re-attempts granted by the retry policy (a job that
+	// failed twice and then succeeded contributes 2).
+	Retries int64 `json:"retries"`
+	// CacheCorrupt counts cache entries quarantined on read (checksum
+	// mismatch or undecodable envelope); 0 when the pool has no cache.
+	CacheCorrupt int64 `json:"cache_corrupt"`
 	// HeapAllocBytes/TotalAllocs/NumGC are the driver process's memory
 	// self-telemetry, read once per Stats call (runtime.ReadMemStats is
 	// off every job's hot path).
@@ -138,12 +161,16 @@ type Pool struct {
 	Cache *Cache
 	// Manifest, when non-nil, records every outcome for resumption.
 	Manifest *Manifest
+	// Retry is the supervision policy: the zero value gives every job a
+	// single attempt (the pre-supervision behavior).
+	Retry RetryPolicy
 	// Progress, when non-nil, observes batch state transitions.
 	Progress func(ProgressEvent)
 
 	executed  atomic.Int64
 	cacheHits atomic.Int64
 	failed    atomic.Int64
+	retries   atomic.Int64
 
 	progressMu sync.Mutex
 	completed  int
@@ -154,10 +181,16 @@ type Pool struct {
 func (p *Pool) Stats() Stats {
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
+	var corrupt int64
+	if p.Cache != nil {
+		corrupt = p.Cache.CorruptCount()
+	}
 	return Stats{
 		Executed:       p.executed.Load(),
 		CacheHits:      p.cacheHits.Load(),
 		Failed:         p.failed.Load(),
+		Retries:        p.retries.Load(),
+		CacheCorrupt:   corrupt,
 		HeapAllocBytes: ms.HeapAlloc,
 		TotalAllocs:    ms.Mallocs,
 		NumGC:          ms.NumGC,
@@ -177,6 +210,8 @@ func (p *Pool) WritePrometheus(w io.Writer) error {
 		{"starvesim_runner_jobs_executed_total", "Batch jobs that simulated.", st.Executed},
 		{"starvesim_runner_cache_hits_total", "Batch jobs restored from the result cache.", st.CacheHits},
 		{"starvesim_runner_jobs_failed_total", "Batch jobs that ended in a RunError.", st.Failed},
+		{"starvesim_runner_retries_total", "Re-attempts granted by the retry policy.", st.Retries},
+		{"starvesim_runner_cache_corrupt_total", "Cache entries quarantined on read (checksum mismatch or undecodable envelope).", st.CacheCorrupt},
 	}
 	for _, r := range rows {
 		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
@@ -218,7 +253,7 @@ func (p *Pool) grace() time.Duration {
 
 func (p *Pool) emit(ev ProgressEvent) {
 	p.progressMu.Lock()
-	if ev.Kind != ProgressStart {
+	if ev.Kind != ProgressStart && ev.Kind != ProgressRetry {
 		p.completed++
 	}
 	ev.Done, ev.Total = p.completed, p.total
@@ -268,14 +303,20 @@ func (p *Pool) Run(ctx context.Context, jobs []Job) []JobResult {
 	return results
 }
 
-// runOne executes (or restores) a single job.
+// runOne executes (or restores) a single job, supervising attempts under
+// the pool's retry policy.
 func (p *Pool) runOne(ctx context.Context, job Job) JobResult {
 	var fp string
 	if !job.Key.IsZero() && p.Cache != nil {
 		fp = p.Cache.Fingerprint(job.Key)
 		if art, ok := p.Cache.Get(fp); ok {
 			p.cacheHits.Add(1)
-			p.record(job.ID, fp, StatusDone, nil)
+			// Record only when the manifest doesn't already say done under
+			// this fingerprint, so a resumed batch keeps the original
+			// attempt history instead of overwriting it with a cache hit.
+			if p.Manifest == nil || !p.Manifest.Done(job.ID, fp) {
+				p.record(job.ID, fp, StatusDone, nil, 0, nil)
+			}
 			p.emit(ProgressEvent{Job: job.ID, Kind: ProgressCached})
 			return JobResult{ID: job.ID, Artifact: art, Cached: true}
 		}
@@ -289,7 +330,39 @@ func (p *Pool) runOne(ctx context.Context, job Job) JobResult {
 		return JobResult{ID: job.ID, Err: rerr}
 	}
 
-	p.emit(ProgressEvent{Job: job.ID, Kind: ProgressStart})
+	var history []AttemptError
+	for attempt := 1; ; attempt++ {
+		p.emit(ProgressEvent{Job: job.ID, Kind: ProgressStart, Attempt: attempt})
+		art, elapsed, rerr := p.attempt(ctx, job)
+		if rerr == nil {
+			p.executed.Add(1)
+			if fp != "" {
+				// Best-effort: a full or read-only cache dir degrades warm
+				// re-runs (the job re-simulates next time), not this batch.
+				_ = p.Cache.Put(fp, job.Key, art)
+			}
+			p.record(job.ID, fp, StatusDone, nil, attempt, history)
+			p.emit(ProgressEvent{Job: job.ID, Kind: ProgressDone, Elapsed: elapsed, Attempt: attempt})
+			return JobResult{ID: job.ID, Artifact: art, Elapsed: elapsed, Attempts: attempt, History: history}
+		}
+		history = append(history, attemptError(attempt, rerr))
+		if attempt >= p.Retry.maxAttempts() || !p.Retry.retryable(rerr.Kind) || ctx.Err() != nil {
+			return p.fail(job.ID, fp, rerr, elapsed, attempt, history)
+		}
+		p.retries.Add(1)
+		p.emit(ProgressEvent{Job: job.ID, Kind: ProgressRetry, Elapsed: elapsed, Attempt: attempt, Err: rerr})
+		if !sleepCtx(ctx, p.Retry.Backoff(job.ID, attempt)) {
+			rerr := &guard.RunError{Scenario: job.ID, Seed: job.Key.Seed, Kind: guard.KindCancelled,
+				Msg: fmt.Sprintf("batch cancelled during retry backoff (after attempt %d)", attempt)}
+			return p.fail(job.ID, fp, rerr, elapsed, attempt, history)
+		}
+	}
+}
+
+// attempt executes the job body once under panic capture, the per-job
+// deadline, and the abandonment grace window, returning the artifact or
+// a classified RunError.
+func (p *Pool) attempt(ctx context.Context, job Job) ([]byte, time.Duration, *guard.RunError) {
 	jctx := ctx
 	cancel := context.CancelFunc(func() {})
 	if p.JobDeadline > 0 {
@@ -330,23 +403,11 @@ func (p *Pool) runOne(ctx context.Context, job Job) JobResult {
 				Msg: fmt.Sprintf("cancelled after %v and did not stop within %v; goroutine abandoned",
 					time.Since(start).Round(time.Millisecond), p.grace()),
 			}
-			return p.fail(job.ID, fp, rerr, time.Since(start))
+			return nil, time.Since(start), rerr
 		}
 	}
 	elapsed := time.Since(start)
-
-	if rerr := p.classify(job, jctx, ctx, o.rerr, o.err); rerr != nil {
-		return p.fail(job.ID, fp, rerr, elapsed)
-	}
-	p.executed.Add(1)
-	if fp != "" {
-		// Best-effort: a full or read-only cache dir degrades warm
-		// re-runs (the job re-simulates next time), not this batch.
-		_ = p.Cache.Put(fp, job.Key, o.art)
-	}
-	p.record(job.ID, fp, StatusDone, nil)
-	p.emit(ProgressEvent{Job: job.ID, Kind: ProgressDone, Elapsed: elapsed})
-	return JobResult{ID: job.ID, Artifact: o.art, Elapsed: elapsed}
+	return o.art, elapsed, p.classify(job, jctx, ctx, o.rerr, o.err)
 }
 
 // classify converts a job outcome into a structured RunError (nil on
@@ -357,6 +418,12 @@ func (p *Pool) classify(job Job, jctx, ctx context.Context, rerr *guard.RunError
 	}
 	if err == nil {
 		return nil
+	}
+	var re *guard.RunError
+	if errors.As(err, &re) {
+		// The body already classified its failure (e.g. a KindExport from
+		// a flushing sink); keep the kind so retryability is honored.
+		return re
 	}
 	kind := guard.KindError
 	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) ||
@@ -377,17 +444,17 @@ func (p *Pool) cancelKind(ctx, jctx context.Context) guard.ErrKind {
 	return guard.KindCancelled
 }
 
-func (p *Pool) fail(id, fp string, rerr *guard.RunError, elapsed time.Duration) JobResult {
+func (p *Pool) fail(id, fp string, rerr *guard.RunError, elapsed time.Duration, attempts int, history []AttemptError) JobResult {
 	p.failed.Add(1)
-	p.record(id, fp, StatusFailed, rerr)
-	p.emit(ProgressEvent{Job: id, Kind: ProgressFailed, Elapsed: elapsed, Err: rerr})
-	return JobResult{ID: id, Elapsed: elapsed, Err: rerr}
+	p.record(id, fp, StatusFailed, rerr, attempts, history)
+	p.emit(ProgressEvent{Job: id, Kind: ProgressFailed, Elapsed: elapsed, Attempt: attempts, Err: rerr})
+	return JobResult{ID: id, Elapsed: elapsed, Attempts: attempts, History: history, Err: rerr}
 }
 
-func (p *Pool) record(id, fp string, status JobStatus, rerr *guard.RunError) {
+func (p *Pool) record(id, fp string, status JobStatus, rerr *guard.RunError, attempts int, history []AttemptError) {
 	if p.Manifest != nil {
 		// Flush errors are non-fatal by design; see Manifest.Record.
-		_ = p.Manifest.Record(id, fp, status, rerr)
+		_ = p.Manifest.Record(id, fp, status, rerr, attempts, history)
 	}
 }
 
