@@ -11,6 +11,7 @@
 //	starvesim -scenario bbr-two -sweep 10 [-sweep-jobs 4]
 //	starvesim -flows "vegas*8;reno*8:rm=120ms" -rate 48 -buffer 128
 //	starvesim -flows "vegas*8;reno*8" -topology fanin:4 -eps 0.1
+//	starvesim -server localhost:8377 -flows "vegas*8;reno*8"
 //
 // Each scenario prints the paper's claimed numbers next to the measured
 // ones. -trace streams the run's packet-lifecycle events (enqueue, drop,
@@ -38,6 +39,12 @@
 // (cca[*count][:key=val,...]) over a -topology (single, parkinglot:<n>,
 // fanin:<n>), reporting population starvation statistics — starved
 // fraction under the -eps threshold, share quantiles, per-cohort Jain.
+//
+// -server <addr> runs the population experiment on a starved daemon (see
+// cmd/starved) instead of locally: the spec is submitted as a one-job
+// batch, the batch's events stream to stderr, and the result printed to
+// stdout is byte-identical to a local run. A spec the daemon rejects
+// exits 2 with the same message a local run would.
 //
 // -guard enables the run-guard layer (stall watchdog, conservation
 // checks); -deadline adds a wall-clock budget per run. -faults injects
@@ -107,6 +114,7 @@ func main() {
 		flows    = flag.String("flows", "", "population mode: semicolon-separated flow groups, cca[*count][:key=val,...] (keys: rm, start, stagger, jitter, loss, ackagg, path, cohort)")
 		topology = flag.String("topology", "single", "population mode: single | parkinglot:<hops> | fanin:<access-links>")
 		epsilon  = flag.Float64("eps", 0, "population mode: starvation threshold as a fraction of fair share (0 = default 0.1)")
+		server   = flag.String("server", "", "population mode: run on a starved daemon at this address (host:port or URL) instead of locally; output is byte-identical")
 
 		// Freeform mode: -cca selects it; everything else is optional.
 		cca1   = flag.String("cca", "", "freeform mode: CCA for flow 0 (e.g. vegas, bbr)")
@@ -183,33 +191,31 @@ func main() {
 		usagef("starvesim: -faults applies to freeform (-cca) mode; scenarios define their own impairments")
 	}
 
+	if *server != "" && *flows == "" {
+		usagef("starvesim: -server runs population mode on a daemon; it needs -flows")
+	}
 	if *flows != "" {
 		if *cca1 != "" || *name != "" {
 			usagef("starvesim: -flows is its own mode; drop -cca/-scenario")
 		}
-		d := *duration
-		if d <= 0 {
-			d = 30 * time.Second
+		spec := scenario.PopulationSpec{
+			Flows: *flows, Topology: *topology,
+			RateMbps: *rate, BufferPkts: *buffer, Epsilon: *epsilon,
+			Duration: *duration, Seed: *seed,
 		}
-		s := *seed
-		if s == 0 {
-			s = 2
+		if *server != "" {
+			if observing || *guardOn || *deadline > 0 {
+				usagef("starvesim: -trace/-metrics/-watch/-guard observe local runs; they cannot attach to -server")
+			}
+			runServerPopulation(ctx, *server, spec)
+			return
 		}
-		pr, err := runPopulation(populationFlags{
-			flowsSpec: *flows, topoSpec: *topology,
-			rateMbps: *rate, bufPkts: *buffer, epsilon: *epsilon,
-			duration: d, seed: s, guard: guardOpts, telemetry: tcfg, ctx: ctx,
-		}, runProbe)
+		pr, err := runPopulation(spec, guardOpts, tcfg, ctx, runProbe)
 		if err != nil {
 			usagef("starvesim: %v", err)
 		}
-		// Small populations render per-flow rows, so print the population
-		// stats separately; large ones already embed them in Net.String().
-		if len(pr.Net.Flows) <= network.CompactFlowThreshold {
-			fmt.Print(pr.Stats)
-		}
-		fmt.Println(pr.Net)
-		finishRun(ctx, sink, watch, pr.Net, "population", s)
+		fmt.Print(pr.Render())
+		finishRun(ctx, sink, watch, pr.Net, "population", pr.Seed)
 		return
 	}
 

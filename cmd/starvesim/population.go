@@ -2,58 +2,28 @@ package main
 
 import (
 	"context"
-	"time"
 
 	"starvation/internal/core"
-	"starvation/internal/endpoint"
 	"starvation/internal/guard"
 	"starvation/internal/network"
 	"starvation/internal/obs"
 	"starvation/internal/scenario"
-	"starvation/internal/units"
 )
 
-// populationFlags describe population (-flows) mode: an N-flow mixed
-// population over a named topology, evaluated with population starvation
-// statistics.
-type populationFlags struct {
-	flowsSpec string // scenario.ParseFlows clause
-	topoSpec  string // scenario.ParseTopology clause
-	rateMbps  float64
-	bufPkts   int
-	epsilon   float64
-	duration  time.Duration
-	seed      int64
-	guard     *guard.Options
-	telemetry *network.TelemetryConfig // nil disables the flight recorder
-	ctx       context.Context          // nil runs uninterruptible
-}
-
-// runPopulation assembles and runs the freeform population experiment.
-func runPopulation(f populationFlags, probe obs.Probe) (*core.PopulationResult, error) {
-	topo, err := scenario.ParseTopology(f.topoSpec, units.Mbps(f.rateMbps), f.bufPkts*endpoint.DefaultMSS)
+// runPopulation runs one realization of the population spec with the CLI's
+// runtime attachments — guard, flight recorder, probe, interrupt context —
+// wired into the assembled configuration. The spec itself (and therefore
+// the clause grammar, the defaults, and every validation error string) is
+// shared with the starved experiment service; only the attachments differ
+// between the two front ends.
+func runPopulation(spec scenario.PopulationSpec, g *guard.Options, t *network.TelemetryConfig, ctx context.Context, probe obs.Probe) (*core.PopulationResult, error) {
+	cfg, err := spec.Config()
 	if err != nil {
 		return nil, err
 	}
-	specs, err := scenario.ParseFlows(f.flowsSpec, f.seed, topo)
-	if err != nil {
-		return nil, err
-	}
-	cfg := core.PopulationConfig{
-		Flows:      specs,
-		Links:      topo.Links,
-		Bottleneck: topo.Bottleneck,
-		Seed:       f.seed,
-		Duration:   f.duration,
-		Epsilon:    f.epsilon,
-		Guard:      f.guard,
-		Probe:      probe,
-		Telemetry:  f.telemetry,
-		Ctx:        f.ctx,
-	}
-	if topo.Links == nil {
-		cfg.Rate = units.Mbps(f.rateMbps)
-		cfg.BufferBytes = f.bufPkts * endpoint.DefaultMSS
-	}
+	cfg.Guard = g
+	cfg.Probe = probe
+	cfg.Telemetry = t
+	cfg.Ctx = ctx
 	return core.RunPopulation(cfg)
 }

@@ -1,0 +1,219 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"starvation/internal/scenario"
+	"starvation/internal/service"
+)
+
+// serverJobName is the job name the client submits under; the artifact
+// fetch after the stream uses the same name.
+const serverJobName = "cli"
+
+// runServerPopulation runs a population experiment on a remote starved
+// daemon instead of locally: it submits the spec as a one-job batch,
+// streams the batch's events to stderr, then prints the job's artifact to
+// stdout. The artifact is byte-identical to a local `-flows` run of the
+// same spec — both paths render through core.PopulationResult.Render —
+// so scripts can switch between local and remote execution freely.
+//
+// Exit status matches the local mode's contract: 0 on success, 1 on
+// runtime failure (unreachable daemon, failed batch, saturated queue),
+// 2 when the daemon rejects the spec as malformed (HTTP 400 carries the
+// same message a local run exits 2 with), 3 after an interrupt (the
+// batch is cancelled on the daemon best-effort).
+func runServerPopulation(ctx context.Context, addr string, spec scenario.PopulationSpec) {
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimRight(base, "/")
+
+	req := service.BatchRequest{
+		Client: "starvesim",
+		Jobs:   []service.JobRequest{{Name: serverJobName, PopulationSpec: spec}},
+	}
+	// Duration travels as DurationSec: PopulationSpec.Duration does not
+	// serialize (it is a CLI-side time.Duration).
+	if spec.Duration > 0 {
+		req.Jobs[0].DurationSec = spec.Duration.Seconds()
+		req.Jobs[0].PopulationSpec.Duration = 0
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		fatalf("starvesim: encoding batch: %v", err)
+	}
+
+	st := submitBatch(ctx, base, body)
+	fmt.Fprintf(os.Stderr, "starvesim: batch %s admitted by %s\n", st.ID, base)
+
+	final := streamEvents(ctx, base, st.ID)
+	if ctx.Err() != nil {
+		cancelBatch(base, st.ID)
+		fmt.Fprintln(os.Stderr, "starvesim: interrupted; batch cancelled on daemon")
+		stopProfiles()
+		os.Exit(3)
+	}
+	switch final {
+	case "batch-done":
+	case "batch-cancelled":
+		fatalf("starvesim: batch %s was cancelled on the daemon", st.ID)
+	case "batch-failed":
+		fatalf("starvesim: batch %s failed; see the event stream above", st.ID)
+	default:
+		fatalf("starvesim: event stream for %s ended without a terminal event (daemon drained?)", st.ID)
+	}
+
+	artifact := fetchArtifact(ctx, base, st.ID)
+	fmt.Print(string(artifact))
+}
+
+// httpError is the daemon's non-2xx JSON body.
+type httpError struct {
+	Error string `json:"error"`
+}
+
+// submitBatch POSTs the batch and maps the daemon's status codes onto the
+// CLI's exit conventions. 400 is a malformed spec — the body carries the
+// exact message a local run would exit 2 with, so it goes through usagef.
+func submitBatch(ctx context.Context, base string, body []byte) service.BatchStatus {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/batches", bytes.NewReader(body))
+	if err != nil {
+		fatalf("starvesim: %v", err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		fatalf("starvesim: submitting batch: %v", err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusAccepted:
+		var st service.BatchStatus
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			fatalf("starvesim: decoding admission response: %v", err)
+		}
+		return st
+	case http.StatusBadRequest:
+		usagef("starvesim: %s", readError(resp.Body))
+	case http.StatusTooManyRequests:
+		fatalf("starvesim: daemon queue is full (retry after %ss): %s",
+			resp.Header.Get("Retry-After"), readError(resp.Body))
+	case http.StatusServiceUnavailable:
+		fatalf("starvesim: daemon is draining; try another instance")
+	default:
+		fatalf("starvesim: daemon returned %s: %s", resp.Status, readError(resp.Body))
+	}
+	panic("unreachable")
+}
+
+// readError extracts the daemon's JSON error message, falling back to the
+// raw body.
+func readError(r io.Reader) string {
+	data, _ := io.ReadAll(io.LimitReader(r, 1<<16))
+	var e httpError
+	if json.Unmarshal(data, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return strings.TrimSpace(string(data))
+}
+
+// streamEvents follows the batch's JSONL event stream, mirroring each
+// event to stderr as a human-readable progress line, and returns the
+// terminal event type ("" if the stream ended without one).
+func streamEvents(ctx context.Context, base, id string) string {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/batches/"+id+"/events", nil)
+	if err != nil {
+		fatalf("starvesim: %v", err)
+	}
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		if ctx.Err() != nil {
+			return ""
+		}
+		fatalf("starvesim: streaming events: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fatalf("starvesim: event stream returned %s: %s", resp.Status, readError(resp.Body))
+	}
+	final := ""
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		var ev service.Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "starvesim: %s\n", eventLine(ev))
+		if strings.HasPrefix(ev.Type, "batch-") {
+			final = ev.Type
+		}
+	}
+	return final
+}
+
+// eventLine renders one event for the stderr progress feed.
+func eventLine(ev service.Event) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "[%s] %s", ev.Batch, ev.Type)
+	if ev.Job != "" {
+		fmt.Fprintf(&b, " %s", ev.Job)
+	}
+	if ev.Attempt > 1 {
+		fmt.Fprintf(&b, " (attempt %d)", ev.Attempt)
+	}
+	fmt.Fprintf(&b, " %d/%d", ev.Done, ev.Total)
+	if ev.Err != "" {
+		fmt.Fprintf(&b, ": %s", ev.Err)
+	}
+	return b.String()
+}
+
+// fetchArtifact retrieves the finished job's rendered output.
+func fetchArtifact(ctx context.Context, base, id string) []byte {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		base+"/batches/"+id+"/artifacts/"+serverJobName, nil)
+	if err != nil {
+		fatalf("starvesim: %v", err)
+	}
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		fatalf("starvesim: fetching artifact: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fatalf("starvesim: artifact fetch returned %s: %s", resp.Status, readError(resp.Body))
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fatalf("starvesim: reading artifact: %v", err)
+	}
+	return data
+}
+
+// cancelBatch best-effort cancels the batch after a client-side
+// interrupt, so the daemon doesn't keep simulating for a reader that
+// left. Uses its own short deadline: the command's context is already
+// cancelled.
+func cancelBatch(base, id string) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodDelete, base+"/batches/"+id, nil)
+	if err != nil {
+		return
+	}
+	if resp, err := http.DefaultClient.Do(hreq); err == nil {
+		resp.Body.Close()
+	}
+}

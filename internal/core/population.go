@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"strings"
 	"time"
 
 	"starvation/internal/guard"
@@ -52,15 +53,24 @@ type PopulationResult struct {
 	Stats metrics.PopulationStats
 }
 
-// RunPopulation runs one realization and computes its population
-// starvation statistics.
-func RunPopulation(cfg PopulationConfig) (*PopulationResult, error) {
-	if len(cfg.Flows) == 0 {
-		return nil, fmt.Errorf("population: no flows")
+// Render returns exactly the text the starvesim CLI prints for this
+// result: the population statistics (only for small populations — large
+// ones already embed them in the network table) followed by the network
+// result. The experiment service stores this rendering as the job
+// artifact, which is what makes server-vs-CLI byte parity checkable with
+// a plain diff.
+func (r *PopulationResult) Render() string {
+	var b strings.Builder
+	if len(r.Net.Flows) <= network.CompactFlowThreshold {
+		b.WriteString(r.Stats.String())
 	}
-	if cfg.Duration <= 0 {
-		return nil, fmt.Errorf("population: duration %v not positive", cfg.Duration)
-	}
+	b.WriteString(r.Net.String())
+	b.WriteString("\n")
+	return b.String()
+}
+
+// networkConfig assembles the network.Config one realization runs under.
+func (cfg PopulationConfig) networkConfig() network.Config {
 	ncfg := network.Config{
 		Links:      cfg.Links,
 		Bottleneck: cfg.Bottleneck,
@@ -74,7 +84,39 @@ func RunPopulation(cfg PopulationConfig) (*PopulationResult, error) {
 		ncfg.Rate = cfg.Rate
 		ncfg.BufferBytes = cfg.BufferBytes
 	}
-	n, err := network.NewChecked(ncfg, cfg.Flows...)
+	return ncfg
+}
+
+// Validate reports the first problem with the configuration, with exactly
+// the message RunPopulation would fail with — the single source of the
+// error strings the CLI exits 2 on and the experiment service returns as
+// HTTP 400. It assembles (and discards) the network, so link and flow
+// specs are checked as deeply as a real run would; callers validating
+// ahead of execution must still rebuild fresh flow specs for the run
+// itself, since specs carry stateful CCA instances.
+func (cfg PopulationConfig) Validate() error {
+	if len(cfg.Flows) == 0 {
+		return fmt.Errorf("population: no flows")
+	}
+	if cfg.Duration <= 0 {
+		return fmt.Errorf("population: duration %v not positive", cfg.Duration)
+	}
+	if _, err := network.NewChecked(cfg.networkConfig(), cfg.Flows...); err != nil {
+		return fmt.Errorf("population: %w", err)
+	}
+	return nil
+}
+
+// RunPopulation runs one realization and computes its population
+// starvation statistics.
+func RunPopulation(cfg PopulationConfig) (*PopulationResult, error) {
+	if len(cfg.Flows) == 0 {
+		return nil, fmt.Errorf("population: no flows")
+	}
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("population: duration %v not positive", cfg.Duration)
+	}
+	n, err := network.NewChecked(cfg.networkConfig(), cfg.Flows...)
 	if err != nil {
 		return nil, fmt.Errorf("population: %w", err)
 	}

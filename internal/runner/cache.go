@@ -135,9 +135,13 @@ func (c *Cache) quarantine(fp, reason string) {
 	fmt.Fprintf(os.Stderr, "runner: cache entry quarantined: %s\n", line)
 }
 
-// Put stores the artifact under the fingerprint, writing to a temp file
-// and renaming so a crash mid-write leaves no half-entry (a torn entry
-// would read as a miss anyway, via the checksum).
+// Put stores the artifact under the fingerprint: write to a temp file,
+// fsync it, rename into place, then fsync the directory. The rename makes
+// a concurrent reader see either the old entry or the complete new one;
+// the two fsyncs make the same guarantee hold across a power cut or a
+// killed daemon — without them a crash shortly after Put could surface a
+// renamed-but-empty file, which the quarantine path would then eat on
+// restart as corruption that never really happened.
 func (c *Cache) Put(fp string, key Key, artifact []byte) error {
 	sum := sha256.Sum256(artifact)
 	e := entry{
@@ -163,9 +167,31 @@ func (c *Cache) Put(fp string, key Key, artifact []byte) error {
 		os.Remove(tmp.Name())
 		return err
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a crash.
+// Filesystems that refuse directory fsync (some network mounts) degrade
+// to the pre-fsync durability instead of failing the Put.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	_ = d.Sync()
+	return nil
 }

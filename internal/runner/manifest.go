@@ -35,6 +35,10 @@ type ManifestEntry struct {
 	// this outcome; it survives resume so a flaky section stays visible
 	// after the batch completes.
 	History []AttemptError `json:"history,omitempty"`
+	// HistoryDropped counts absorbed-failure records Compact trimmed from
+	// History, so a compacted manifest still discloses how flaky the job
+	// has been over its lifetime.
+	HistoryDropped int `json:"history_dropped,omitempty"`
 	// Err carries the structured failure when Status is "failed".
 	Err *guard.RunError `json:"err,omitempty"`
 }
@@ -200,14 +204,21 @@ func (m *Manifest) Record(id, fp string, status JobStatus, rerr *guard.RunError,
 	if m.jobs == nil {
 		m.jobs = map[string]ManifestEntry{}
 	}
-	m.jobs[id] = ManifestEntry{Fingerprint: fp, Status: status, Attempts: attempts, History: history, Err: rerr}
+	// A re-run of a previously compacted job carries the disclosed drop
+	// count forward instead of silently resetting the history ledger.
+	dropped := m.jobs[id].HistoryDropped
+	m.jobs[id] = ManifestEntry{Fingerprint: fp, Status: status, Attempts: attempts, History: history, HistoryDropped: dropped, Err: rerr}
 	data, err := json.MarshalIndent(manifestFile{Schema: SchemaVersion, Jobs: m.jobs}, "", "  ")
 	m.mu.Unlock()
 	if err != nil || m.Path == "" {
 		return err
 	}
-	// Write-then-rename so an interrupt mid-flush leaves the previous
-	// (still valid) manifest in place.
+	return m.flush(data)
+}
+
+// flush writes the serialized manifest with write-then-rename so an
+// interrupt mid-flush leaves the previous (still valid) manifest in place.
+func (m *Manifest) flush(data []byte) error {
 	tmp, err := os.CreateTemp(filepath.Dir(m.Path), ".manifest.tmp")
 	if err != nil {
 		return err
@@ -222,4 +233,51 @@ func (m *Manifest) Record(id, fp string, status JobStatus, rerr *guard.RunError,
 		return err
 	}
 	return os.Rename(tmp.Name(), m.Path)
+}
+
+// HistoryLen returns the total absorbed-failure records across all
+// entries — the quantity Compact bounds.
+func (m *Manifest) HistoryLen() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, e := range m.jobs {
+		n += len(e.History)
+	}
+	return n
+}
+
+// Compact trims each entry's absorbed-failure history to its most recent
+// keep records and rewrites the manifest in place, returning how many
+// records were dropped. A long-running daemon that retries flaky jobs for
+// weeks otherwise grows its manifests without bound; the trim is
+// disclosed per entry in HistoryDropped, so total flakiness stays
+// visible even after the individual records are gone. A manifest already
+// within the bound is left untouched (no rewrite, returns 0).
+func (m *Manifest) Compact(keep int) (int, error) {
+	if keep < 0 {
+		keep = 0
+	}
+	m.mu.Lock()
+	dropped := 0
+	for id, e := range m.jobs {
+		if len(e.History) <= keep {
+			continue
+		}
+		n := len(e.History) - keep
+		e.History = append([]AttemptError(nil), e.History[n:]...)
+		e.HistoryDropped += n
+		m.jobs[id] = e
+		dropped += n
+	}
+	if dropped == 0 || m.Path == "" {
+		m.mu.Unlock()
+		return dropped, nil
+	}
+	data, err := json.MarshalIndent(manifestFile{Schema: SchemaVersion, Jobs: m.jobs}, "", "  ")
+	m.mu.Unlock()
+	if err != nil {
+		return dropped, err
+	}
+	return dropped, m.flush(data)
 }

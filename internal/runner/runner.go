@@ -129,6 +129,9 @@ type Stats struct {
 	// Retries counts re-attempts granted by the retry policy (a job that
 	// failed twice and then succeeded contributes 2).
 	Retries int64 `json:"retries"`
+	// Inflight gauges the jobs executing (or restoring) right now — the
+	// shared-pool occupancy a serving scheduler watches for saturation.
+	Inflight int64 `json:"inflight"`
 	// CacheCorrupt counts cache entries quarantined on read (checksum
 	// mismatch or undecodable envelope); 0 when the pool has no cache.
 	CacheCorrupt int64 `json:"cache_corrupt"`
@@ -171,10 +174,31 @@ type Pool struct {
 	cacheHits atomic.Int64
 	failed    atomic.Int64
 	retries   atomic.Int64
+	inflight  atomic.Int64
 
 	progressMu sync.Mutex
 	completed  int
 	total      int
+}
+
+// Exec is one job execution request on a shared, long-running pool (see
+// Execute). The optional fields route the execution's side channels away
+// from the pool-wide defaults so independent batches can share one pool —
+// one cache, one counter set — without sharing progress streams,
+// manifests, or supervision budgets.
+type Exec struct {
+	// Job is the unit to execute (or restore from the cache).
+	Job Job
+	// Progress, when non-nil, observes this execution's state transitions.
+	// Unlike Pool.Progress, events carry no Done/Total — a shared pool has
+	// no batch denominator; the caller layers its own accounting on top.
+	Progress func(ProgressEvent)
+	// Manifest, when non-nil, records the outcome for resumption instead
+	// of the pool's manifest (a shared pool typically has none).
+	Manifest *Manifest
+	// Retry, when non-nil, overrides the pool's retry policy for this
+	// execution (e.g. a chaos batch bringing its own attempt budget).
+	Retry *RetryPolicy
 }
 
 // Stats returns the pool's batch counters plus process self-telemetry.
@@ -190,6 +214,7 @@ func (p *Pool) Stats() Stats {
 		CacheHits:      p.cacheHits.Load(),
 		Failed:         p.failed.Load(),
 		Retries:        p.retries.Load(),
+		Inflight:       p.inflight.Load(),
 		CacheCorrupt:   corrupt,
 		HeapAllocBytes: ms.HeapAlloc,
 		TotalAllocs:    ms.Mallocs,
@@ -223,6 +248,7 @@ func (p *Pool) WritePrometheus(w io.Writer) error {
 		name, help string
 		value      uint64
 	}{
+		{"starvesim_runner_inflight_jobs", "Jobs executing or restoring right now.", uint64(st.Inflight)},
 		{"starvesim_runner_heap_alloc_bytes", "Driver process live heap at collection time.", st.HeapAllocBytes},
 		{"starvesim_runner_total_allocs", "Driver process cumulative allocations.", st.TotalAllocs},
 		{"starvesim_runner_num_gc", "Driver process completed GC cycles.", uint64(st.NumGC)},
@@ -286,12 +312,13 @@ func (p *Pool) Run(ctx context.Context, jobs []Job) []JobResult {
 	results := make([]JobResult, len(jobs))
 	idx := make(chan int)
 	var wg sync.WaitGroup
+	env := execEnv{emit: p.emit, manifest: p.Manifest, retry: p.Retry}
 	for w := 0; w < p.workers(); w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				results[i] = p.runOne(ctx, jobs[i])
+				results[i] = p.runOne(ctx, jobs[i], env)
 			}
 		}()
 	}
@@ -303,9 +330,40 @@ func (p *Pool) Run(ctx context.Context, jobs []Job) []JobResult {
 	return results
 }
 
+// Execute runs (or restores) a single job on the pool's shared machinery —
+// cache, counters, panic capture, per-job deadline — outside any batch.
+// It is the entry point for long-running services that schedule jobs one
+// at a time from their own queues: each call is independent, safe to make
+// concurrently from many goroutines, and routes its progress events and
+// manifest records to the Exec's own sinks instead of the pool's. The
+// caller bounds concurrency itself (the pool's Jobs field only sizes
+// Run's worker set).
+func (p *Pool) Execute(ctx context.Context, ex Exec) JobResult {
+	env := execEnv{emit: func(ev ProgressEvent) {
+		if ex.Progress != nil {
+			ex.Progress(ev)
+		}
+	}, manifest: ex.Manifest, retry: p.Retry}
+	if ex.Retry != nil {
+		env.retry = *ex.Retry
+	}
+	return p.runOne(ctx, ex.Job, env)
+}
+
+// execEnv routes one execution's side channels: progress events, the
+// manifest recording the outcome, and the supervising retry policy.
+// Pool.Run wires the pool-wide defaults; Execute wires per-call sinks.
+type execEnv struct {
+	emit     func(ProgressEvent)
+	manifest *Manifest
+	retry    RetryPolicy
+}
+
 // runOne executes (or restores) a single job, supervising attempts under
-// the pool's retry policy.
-func (p *Pool) runOne(ctx context.Context, job Job) JobResult {
+// the environment's retry policy.
+func (p *Pool) runOne(ctx context.Context, job Job, env execEnv) JobResult {
+	p.inflight.Add(1)
+	defer p.inflight.Add(-1)
 	var fp string
 	if !job.Key.IsZero() && p.Cache != nil {
 		fp = p.Cache.Fingerprint(job.Key)
@@ -314,10 +372,10 @@ func (p *Pool) runOne(ctx context.Context, job Job) JobResult {
 			// Record only when the manifest doesn't already say done under
 			// this fingerprint, so a resumed batch keeps the original
 			// attempt history instead of overwriting it with a cache hit.
-			if p.Manifest == nil || !p.Manifest.Done(job.ID, fp) {
-				p.record(job.ID, fp, StatusDone, nil, 0, nil)
+			if env.manifest == nil || !env.manifest.Done(job.ID, fp) {
+				env.record(job.ID, fp, StatusDone, nil, 0, nil)
 			}
-			p.emit(ProgressEvent{Job: job.ID, Kind: ProgressCached})
+			env.emit(ProgressEvent{Job: job.ID, Kind: ProgressCached})
 			return JobResult{ID: job.ID, Artifact: art, Cached: true}
 		}
 	}
@@ -326,13 +384,13 @@ func (p *Pool) runOne(ctx context.Context, job Job) JobResult {
 		// without touching the manifest (the job never ran).
 		rerr := &guard.RunError{Scenario: job.ID, Kind: guard.KindCancelled, Msg: "batch cancelled before job started"}
 		p.failed.Add(1)
-		p.emit(ProgressEvent{Job: job.ID, Kind: ProgressFailed, Err: rerr})
+		env.emit(ProgressEvent{Job: job.ID, Kind: ProgressFailed, Err: rerr})
 		return JobResult{ID: job.ID, Err: rerr}
 	}
 
 	var history []AttemptError
 	for attempt := 1; ; attempt++ {
-		p.emit(ProgressEvent{Job: job.ID, Kind: ProgressStart, Attempt: attempt})
+		env.emit(ProgressEvent{Job: job.ID, Kind: ProgressStart, Attempt: attempt})
 		art, elapsed, rerr := p.attempt(ctx, job)
 		if rerr == nil {
 			p.executed.Add(1)
@@ -341,20 +399,20 @@ func (p *Pool) runOne(ctx context.Context, job Job) JobResult {
 				// re-runs (the job re-simulates next time), not this batch.
 				_ = p.Cache.Put(fp, job.Key, art)
 			}
-			p.record(job.ID, fp, StatusDone, nil, attempt, history)
-			p.emit(ProgressEvent{Job: job.ID, Kind: ProgressDone, Elapsed: elapsed, Attempt: attempt})
+			env.record(job.ID, fp, StatusDone, nil, attempt, history)
+			env.emit(ProgressEvent{Job: job.ID, Kind: ProgressDone, Elapsed: elapsed, Attempt: attempt})
 			return JobResult{ID: job.ID, Artifact: art, Elapsed: elapsed, Attempts: attempt, History: history}
 		}
 		history = append(history, attemptError(attempt, rerr))
-		if attempt >= p.Retry.maxAttempts() || !p.Retry.retryable(rerr.Kind) || ctx.Err() != nil {
-			return p.fail(job.ID, fp, rerr, elapsed, attempt, history)
+		if attempt >= env.retry.maxAttempts() || !env.retry.retryable(rerr.Kind) || ctx.Err() != nil {
+			return p.fail(job.ID, fp, rerr, elapsed, attempt, history, env)
 		}
 		p.retries.Add(1)
-		p.emit(ProgressEvent{Job: job.ID, Kind: ProgressRetry, Elapsed: elapsed, Attempt: attempt, Err: rerr})
-		if !sleepCtx(ctx, p.Retry.Backoff(job.ID, attempt)) {
+		env.emit(ProgressEvent{Job: job.ID, Kind: ProgressRetry, Elapsed: elapsed, Attempt: attempt, Err: rerr})
+		if !sleepCtx(ctx, env.retry.Backoff(job.ID, attempt)) {
 			rerr := &guard.RunError{Scenario: job.ID, Seed: job.Key.Seed, Kind: guard.KindCancelled,
 				Msg: fmt.Sprintf("batch cancelled during retry backoff (after attempt %d)", attempt)}
-			return p.fail(job.ID, fp, rerr, elapsed, attempt, history)
+			return p.fail(job.ID, fp, rerr, elapsed, attempt, history, env)
 		}
 	}
 }
@@ -444,17 +502,17 @@ func (p *Pool) cancelKind(ctx, jctx context.Context) guard.ErrKind {
 	return guard.KindCancelled
 }
 
-func (p *Pool) fail(id, fp string, rerr *guard.RunError, elapsed time.Duration, attempts int, history []AttemptError) JobResult {
+func (p *Pool) fail(id, fp string, rerr *guard.RunError, elapsed time.Duration, attempts int, history []AttemptError, env execEnv) JobResult {
 	p.failed.Add(1)
-	p.record(id, fp, StatusFailed, rerr, attempts, history)
-	p.emit(ProgressEvent{Job: id, Kind: ProgressFailed, Elapsed: elapsed, Attempt: attempts, Err: rerr})
+	env.record(id, fp, StatusFailed, rerr, attempts, history)
+	env.emit(ProgressEvent{Job: id, Kind: ProgressFailed, Elapsed: elapsed, Attempt: attempts, Err: rerr})
 	return JobResult{ID: id, Elapsed: elapsed, Attempts: attempts, History: history, Err: rerr}
 }
 
-func (p *Pool) record(id, fp string, status JobStatus, rerr *guard.RunError, attempts int, history []AttemptError) {
-	if p.Manifest != nil {
+func (env execEnv) record(id, fp string, status JobStatus, rerr *guard.RunError, attempts int, history []AttemptError) {
+	if env.manifest != nil {
 		// Flush errors are non-fatal by design; see Manifest.Record.
-		_ = p.Manifest.Record(id, fp, status, rerr, attempts, history)
+		_ = env.manifest.Record(id, fp, status, rerr, attempts, history)
 	}
 }
 
