@@ -508,7 +508,8 @@ func dur(long, short time.Duration) time.Duration {
 func fig1(ctx context.Context, r *reporter) {
 	r.section("F1", "ideal-path RTT convergence (Vegas, 12 Mbit/s, Rm=100ms)")
 	conv := core.MeasureConvergence(ccaFactory("vegas"), units.Mbps(12),
-		100*time.Millisecond, core.MeasureOpts{Duration: dur(30*time.Second, 10*time.Second), Ctx: ctx})
+		100*time.Millisecond, core.MeasureOpts{Duration: dur(30*time.Second, 10*time.Second), Ctx: ctx,
+			Session: network.NewSession()})
 	r.row("- converged at T=%v to [dmin=%v, dmax=%v], δ=%v",
 		conv.ConvergedAt.Round(time.Millisecond),
 		conv.DMin.Round(10*time.Microsecond), conv.DMax.Round(10*time.Microsecond),
@@ -528,9 +529,12 @@ func fig3(ctx context.Context, r *reporter) {
 		lo = units.Mbps(1.5)
 	}
 	rates := core.LogSpace(lo, hi, n)
+	// One session serves all eight sequential sweeps: every point shares
+	// the single-flow ideal-path shape, so the arenas are built once.
+	sess := network.NewSession()
 	for _, name := range []string{"vegas", "fast", "copa", "ledbat", "verus", "bbr", "vivace", "algo1"} {
 		sw := core.RateDelaySweep(name, ccaFactory(name), 100*time.Millisecond, rates,
-			core.MeasureOpts{Duration: dur(30*time.Second, 12*time.Second), Ctx: ctx})
+			core.MeasureOpts{Duration: dur(30*time.Second, 12*time.Second), Ctx: ctx, Session: sess})
 		r.save("fig3_"+name+".csv", func(w io.Writer) error { return sw.WriteCSV(w) })
 		r.row("- %s: δmax=%v, dmax-bound=%v over C>%v", name,
 			sw.DeltaMax(lo).Round(10*time.Microsecond),

@@ -76,6 +76,12 @@ type MeasureOpts struct {
 	// every point is an independent simulator, the measured values are
 	// identical at any Jobs value.
 	Jobs int
+	// Session, when non-nil, runs the measurement through a reusable run
+	// context that recycles event arenas and endpoint state across runs
+	// instead of reallocating them. Measured values are bit-identical
+	// with or without a session. Sessions are single-owner: never share
+	// one across goroutines (RateDelaySweep gives each worker its own).
+	Session *network.Session
 }
 
 func (o *MeasureOpts) fill() {
@@ -99,13 +105,22 @@ func (o *MeasureOpts) fill() {
 func MeasureConvergence(f Factory, c units.Rate, rm time.Duration, opts MeasureOpts) *Convergence {
 	opts.fill()
 	alg := f()
-	n := network.New(
-		network.Config{Rate: c, Seed: opts.Seed, Ctx: opts.Ctx},
-		network.FlowSpec{Name: "probe", Alg: alg, Rm: rm, MSS: opts.MSS},
-	)
+	cfg := network.Config{Rate: c, Seed: opts.Seed, Ctx: opts.Ctx}
+	spec := network.FlowSpec{Name: "probe", Alg: alg, Rm: rm, MSS: opts.MSS}
 	d := opts.Duration
 	from := time.Duration((1 - opts.WindowFrac) * float64(d))
-	res := n.RunWindow(d, from, d)
+	var res *network.Result
+	if opts.Session != nil {
+		var err error
+		res, err = opts.Session.RunWindow(cfg, d, from, d, spec)
+		if err != nil {
+			// The config is assembled here from checked inputs; a
+			// validation failure is a programming error, as in network.New.
+			panic(err.Error())
+		}
+	} else {
+		res = network.New(cfg, spec).RunWindow(d, from, d)
+	}
 	fr := res.Flows[0]
 
 	conv := &Convergence{

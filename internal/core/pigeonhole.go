@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"starvation/internal/network"
 	"starvation/internal/units"
 )
 
@@ -44,6 +45,12 @@ func PigeonholeSearch(f Factory, rm time.Duration, s, fEff float64, eps time.Dur
 		growth = 2
 	}
 	res := &PigeonholeResult{Epsilon: eps}
+	if opts.Session == nil {
+		// The search runs one identically shaped measurement per rate, the
+		// ideal case for a recycled run context (sequential, so one
+		// session serves the whole walk; measured values are unchanged).
+		opts.Session = network.NewSession()
+	}
 
 	type measured struct {
 		c    units.Rate

@@ -44,6 +44,13 @@ type PopulationConfig struct {
 	// flight recorder (windowed series + online episode detection) on the
 	// population run.
 	Telemetry *network.TelemetryConfig
+	// Session, when non-nil, runs the realization through a reusable run
+	// context that recycles the network's arenas across runs instead of
+	// rebuilding them — the sweep/daemon hot path. The realization is
+	// bit-identical with or without a session. Sessions are single-owner:
+	// never share one across goroutines (PopulationSweep gives each
+	// worker its own).
+	Session *network.Session
 }
 
 // PopulationResult is one realization of a population experiment.
@@ -116,11 +123,20 @@ func RunPopulation(cfg PopulationConfig) (*PopulationResult, error) {
 	if cfg.Duration <= 0 {
 		return nil, fmt.Errorf("population: duration %v not positive", cfg.Duration)
 	}
-	n, err := network.NewChecked(cfg.networkConfig(), cfg.Flows...)
-	if err != nil {
-		return nil, fmt.Errorf("population: %w", err)
+	var res *network.Result
+	if cfg.Session != nil {
+		var err error
+		res, err = cfg.Session.Run(cfg.networkConfig(), cfg.Duration, cfg.Flows...)
+		if err != nil {
+			return nil, fmt.Errorf("population: %w", err)
+		}
+	} else {
+		n, err := network.NewChecked(cfg.networkConfig(), cfg.Flows...)
+		if err != nil {
+			return nil, fmt.Errorf("population: %w", err)
+		}
+		res = n.Run(cfg.Duration)
 	}
-	res := n.Run(cfg.Duration)
 	res.Epsilon = cfg.Epsilon
 	return &PopulationResult{Seed: cfg.Seed, Net: res, Stats: res.Population(cfg.Epsilon)}, nil
 }
@@ -129,16 +145,24 @@ func RunPopulation(cfg PopulationConfig) (*PopulationResult, error) {
 // pool (jobs = 0 selects GOMAXPROCS) and returns results indexed like
 // seeds. rebuild must return a fresh PopulationConfig per seed — flow
 // specs carry stateful CCA instances and jitter policies, so realizations
-// cannot share them.
+// cannot share them. Each worker runs its realizations through its own
+// recycled network.Session (a Session set by rebuild is overridden), so
+// the sweep rebuilds each distinct topology once per worker, not once per
+// seed; results are bit-identical to fresh-network runs at any jobs value.
 func PopulationSweep(ctx context.Context, seeds []int64, jobs int, rebuild func(seed int64) (PopulationConfig, error)) ([]*PopulationResult, error) {
 	results := make([]*PopulationResult, len(seeds))
-	err := runner.ForEach(ctx, jobs, len(seeds), func(ctx context.Context, i int) error {
+	sessions := make([]*network.Session, runner.Workers(jobs, len(seeds)))
+	err := runner.ForEachWorker(ctx, jobs, len(seeds), func(ctx context.Context, w, i int) error {
+		if sessions[w] == nil {
+			sessions[w] = network.NewSession()
+		}
 		cfg, err := rebuild(seeds[i])
 		if err != nil {
 			return err
 		}
 		cfg.Seed = seeds[i]
 		cfg.Ctx = ctx
+		cfg.Session = sessions[w]
 		results[i], err = RunPopulation(cfg)
 		return err
 	})

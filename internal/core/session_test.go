@@ -1,0 +1,80 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"starvation/internal/cca"
+	"starvation/internal/cca/reno"
+	"starvation/internal/cca/vegas"
+	"starvation/internal/network"
+	"starvation/internal/units"
+)
+
+// TestMeasureConvergenceSessionParity pins that a convergence measurement
+// through a reused session equals a fresh-network measurement in every
+// reported field, across repeated runs with varying parameters.
+func TestMeasureConvergenceSessionParity(t *testing.T) {
+	mk := func() cca.Algorithm { return vegas.New(vegas.Config{}) }
+	s := network.NewSession()
+	for _, p := range []struct {
+		c  units.Rate
+		rm time.Duration
+	}{
+		{units.Mbps(12), 60 * time.Millisecond},
+		{units.Mbps(48), 20 * time.Millisecond},
+		{units.Mbps(12), 60 * time.Millisecond}, // back to the first point
+	} {
+		opts := MeasureOpts{Duration: 8 * time.Second}
+		fresh := MeasureConvergence(mk, p.c, p.rm, opts)
+		opts.Session = s
+		reused := MeasureConvergence(mk, p.c, p.rm, opts)
+		if !reflect.DeepEqual(reused, fresh) {
+			t.Errorf("C=%v Rm=%v: session measurement diverged:\n got %+v\nwant %+v",
+				p.c, p.rm, reused, fresh)
+		}
+	}
+}
+
+// TestPopulationSweepSessionParity pins that the seed sweep — whose
+// workers recycle networks through per-worker sessions — reproduces
+// fresh single-realization runs exactly, including the rendered artifact
+// text the service's byte-parity contract depends on.
+func TestPopulationSweepSessionParity(t *testing.T) {
+	rebuild := func(seed int64) (PopulationConfig, error) {
+		mkFlows := func() []network.FlowSpec {
+			return []network.FlowSpec{
+				{Name: "v0", Alg: vegas.New(vegas.Config{}), Rm: 30 * time.Millisecond},
+				{Name: "v1", Alg: vegas.New(vegas.Config{}), Rm: 60 * time.Millisecond},
+				{Name: "r0", Alg: reno.New(reno.Config{}), Rm: 40 * time.Millisecond},
+			}
+		}
+		return PopulationConfig{
+			Flows:       mkFlows(),
+			Rate:        units.Mbps(24),
+			BufferBytes: 64 * 1500,
+			Duration:    3 * time.Second,
+		}, nil
+	}
+	seeds := []int64{1, 4, 7, 11}
+	swept, err := PopulationSweep(context.Background(), seeds, 2, rebuild)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, seed := range seeds {
+		cfg, _ := rebuild(seed)
+		cfg.Seed = seed
+		fresh, err := RunPopulation(cfg) // no session: fresh network
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(swept[i].Stats, fresh.Stats) {
+			t.Errorf("seed %d: stats diverged:\n got %+v\nwant %+v", seed, swept[i].Stats, fresh.Stats)
+		}
+		if got, want := swept[i].Render(), fresh.Render(); got != want {
+			t.Errorf("seed %d: rendered artifact diverged:\n got %q\nwant %q", seed, got, want)
+		}
+	}
+}

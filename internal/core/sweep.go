@@ -7,6 +7,7 @@ import (
 	"math"
 	"time"
 
+	"starvation/internal/network"
 	"starvation/internal/runner"
 	"starvation/internal/units"
 )
@@ -49,6 +50,11 @@ func LogSpace(lo, hi units.Rate, n int) []units.Rate {
 // pool. Every point is an independent simulator with its own seed, so
 // the sweep is identical — point for point — at any Jobs value; points
 // land in the result slice by rate index, never by completion order.
+//
+// Each worker runs its points through its own recycled network.Session
+// (seeded from opts.Session for worker 0 when set), so a sweep pays
+// network construction once per worker rather than once per rate point;
+// the measured values are unchanged.
 func RateDelaySweep(name string, f Factory, rm time.Duration, rates []units.Rate, opts MeasureOpts) *Sweep {
 	opts.fill()
 	sw := &Sweep{Name: name, Rm: rm, Points: make([]SweepPoint, len(rates))}
@@ -56,12 +62,20 @@ func RateDelaySweep(name string, f Factory, rm time.Duration, rates []units.Rate
 	if workers <= 0 {
 		workers = 1 // library default stays sequential; CLIs opt in
 	}
+	sessions := make([]*network.Session, runner.Workers(workers, len(rates)))
+	sessions[0] = opts.Session
 	// The error is always opts.Ctx's cancellation; the partial sweep is
 	// returned as-is and callers observe the cancellation themselves.
-	_ = runner.ForEach(opts.Ctx, workers, len(rates), func(ctx context.Context, i int) error {
+	_ = runner.ForEachWorker(opts.Ctx, workers, len(rates), func(ctx context.Context, w, i int) error {
+		if sessions[w] == nil {
+			// Lazily built: each worker id is served by one goroutine,
+			// so the slot is worker-private.
+			sessions[w] = network.NewSession()
+		}
 		c := rates[i]
 		o := opts
 		o.Ctx = ctx
+		o.Session = sessions[w]
 		// Ensure the run spans enough packets and RTTs at low rates: at
 		// least ~400 packet-times and 200 RTTs.
 		pktTime := c.TxTime(opts.MSS)

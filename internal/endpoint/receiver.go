@@ -76,6 +76,27 @@ func NewReceiver(s *sim.Simulator, flow packet.FlowID, cfg AckConfig, out netem.
 	return r
 }
 
+// Reset returns the receiver to the state NewReceiver(s, flow, cfg, out)
+// would produce while keeping the out-of-order map's buckets, the ACK
+// buffer's capacity, and the bound flush callback. The caller resets the
+// shared simulator first; the pending flush-timer handle is zeroed, not
+// cancelled. The probe is cleared; reinstall it before the run.
+func (r *Receiver) Reset(cfg AckConfig) {
+	if cfg.DelayCount > 1 && cfg.DelayTimeout <= 0 {
+		cfg.DelayTimeout = 40 * time.Millisecond
+	}
+	r.cfg = cfg
+	r.expected = 0
+	clear(r.ooo)
+	r.delivered = 0
+	r.pendCount, r.pendNewly, r.pendECE = 0, 0, false
+	r.lastSeq, r.lastSentAt, r.lastRetx = 0, 0, false
+	r.flushTimer = sim.Handle{}
+	r.pendAcks = r.pendAcks[:0]
+	r.Received, r.AcksSent = 0, 0
+	r.Probe = nil
+}
+
 // DeliveredBytes returns the count of distinct payload bytes accepted so
 // far, in any order (the quantity echoed to rate-based CCAs).
 func (r *Receiver) DeliveredBytes() int64 { return r.delivered }

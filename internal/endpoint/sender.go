@@ -123,6 +123,47 @@ func NewSender(s *sim.Simulator, flow packet.FlowID, alg cca.Algorithm, mss int,
 	return sn
 }
 
+// Reset returns the sender to the state NewSender(s, flow, alg, mss, out)
+// would produce while keeping the warm buffers that dominate per-run setup
+// cost: the segment map's buckets, the segState recycling pool, the
+// retransmission queue's capacity, and the bound timer callbacks. The
+// caller must reset the shared simulator first — pending timer handles are
+// zeroed here, never cancelled, because they went stale with the
+// simulator reset. Probe and AckTraceHook are cleared like any other
+// per-run wiring; reinstall them before Start.
+func (sn *Sender) Reset(alg cca.Algorithm, mss int) {
+	if mss <= 0 {
+		mss = DefaultMSS
+	}
+	sn.mss = mss
+	sn.alg = alg
+	sn.nextSeq, sn.cumAck = 0, 0
+	sn.pipe = 0
+	for seq, st := range sn.segs {
+		delete(sn.segs, seq)
+		sn.segFree = append(sn.segFree, st)
+	}
+	sn.retxQ = sn.retxQ[:0]
+	sn.dupAcks = 0
+	sn.inRecovery = false
+	sn.recoverPoint, sn.highestSacked = 0, 0
+	sn.nextSend = 0
+	sn.sendTimer, sn.rtoTimer, sn.tickTimer = sim.Handle{}, sim.Handle{}, sim.Handle{}
+	sn.srtt, sn.rttvar = 0, 0
+	sn.minRTO = DefaultMinRTO
+	sn.rtoBackoff = 0
+	sn.ticker = nil
+	sn.started, sn.stopped = false, false
+	sn.AckedBytes, sn.DeliveredBytes, sn.SentBytes, sn.RetxBytes = 0, 0, 0, 0
+	sn.SentPackets, sn.RetxPackets, sn.AcksReceived = 0, 0, 0
+	sn.CwndUpdates, sn.LossEvents, sn.Timeouts = 0, 0, 0
+	sn.LastRTT, sn.StartedAt = 0, 0
+	sn.maxBurst = 0
+	sn.AckTraceHook = nil
+	sn.Probe = nil
+	sn.lastCwnd = 0
+}
+
 // Algorithm returns the sender's CCA.
 func (sn *Sender) Algorithm() cca.Algorithm { return sn.alg }
 
@@ -157,8 +198,11 @@ func (sn *Sender) Stop() {
 }
 
 func (sn *Sender) armTick(t cca.Ticker) {
+	// The ticker is assigned unconditionally: a reused sender keeps its
+	// bound onTick closure across Reset, but must tick the *current* CCA,
+	// not the one from a previous life.
+	sn.ticker = t
 	if sn.onTickFn == nil {
-		sn.ticker = t
 		sn.onTickFn = sn.onTick
 	}
 	iv := t.TickInterval()

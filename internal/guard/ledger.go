@@ -84,6 +84,12 @@ type Ledger struct {
 	Flows []FlowLedger
 }
 
+// Reset empties the ledger while keeping the per-flow slice capacity, so a
+// ledger recycled across runs can be refilled without reallocating.
+func (l *Ledger) Reset() {
+	l.Flows = l.Flows[:0]
+}
+
 // Check verifies every flow's segment equations plus the global sums (the
 // global check is redundant when per-flow checks pass, but catches
 // cross-flow misattribution if a ledger is assembled from a probe stream).

@@ -34,6 +34,17 @@ type monFlow struct {
 // NewMonitor returns an empty monitor.
 func NewMonitor() *Monitor { return &Monitor{} }
 
+// Reset returns the monitor to its freshly constructed state while keeping
+// the per-flow slice capacity: tracking registrations, stall latches, and
+// counters are all cleared, so a monitor recycled across runs (session
+// reuse) behaves exactly like a new one.
+func (m *Monitor) Reset() {
+	m.flows = m.flows[:0]
+	m.last = obs.Event{}
+	m.seenAny = false
+	m.eventCnt = 0
+}
+
 // Track registers a flow for stall detection: it is flagged when no
 // delivery lands for stallAfter of virtual time (measured from startAt
 // until its first delivery). Untracked flows still feed the counter

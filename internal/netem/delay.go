@@ -64,6 +64,17 @@ func NewDelayBox(s *sim.Simulator, p jitter.Policy, out PacketHandler) *DelayBox
 	return b
 }
 
+// Reset returns the box to the state NewDelayBox(s, p, out) would produce,
+// keeping the bound callbacks. Packets held at reset time are abandoned
+// (the caller resets the shared simulator first, which drops their release
+// events), so the in-transit gauge restarts at zero.
+func (b *DelayBox) Reset(p jitter.Policy) {
+	b.policy = p
+	b.lastRelease = 0
+	b.inTransit = 0
+	b.MaxApplied = 0
+}
+
 // Send applies the policy delay to p.
 func (b *DelayBox) Send(p packet.Packet) {
 	b.inTransit++
@@ -123,6 +134,14 @@ type AckDelayBox struct {
 // NewAckDelayBox returns an ACK-path delay element applying the policy.
 func NewAckDelayBox(s *sim.Simulator, p jitter.Policy, out AckHandler) *AckDelayBox {
 	return &AckDelayBox{sim: s, policy: p, out: out}
+}
+
+// Reset returns the box to the state NewAckDelayBox(s, p, out) would
+// produce; see DelayBox.Reset for the simulator-first contract.
+func (b *AckDelayBox) Reset(p jitter.Policy) {
+	b.policy = p
+	b.lastRelease = 0
+	b.MaxApplied = 0
 }
 
 // Send applies the policy delay to a.

@@ -48,6 +48,15 @@ func (d *Duplicator) SetProbe(s *sim.Simulator, p obs.Probe) {
 	d.probe = p
 }
 
+// Reset returns the element to the state NewDuplicator(cfg, rng, out)
+// would produce with a generator freshly seeded with seed.
+func (d *Duplicator) Reset(cfg DupConfig, seed int64) {
+	d.cfg = cfg
+	d.rng.Seed(seed)
+	d.sim, d.probe = nil, nil
+	d.Passed, d.Duplicated = 0, 0
+}
+
 // Send forwards p and possibly an immediate duplicate.
 func (d *Duplicator) Send(p packet.Packet) {
 	d.Passed++

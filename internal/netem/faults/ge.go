@@ -87,6 +87,19 @@ func (g *GEGate) SetProbe(s *sim.Simulator, p obs.Probe) {
 // Bad reports whether the chain is currently in the Bad state.
 func (g *GEGate) Bad() bool { return g.bad }
 
+// Reset returns the gate to the state NewGEGate(cfg, rng, out) would
+// produce with a generator freshly seeded with seed: chain back in Good,
+// counters zeroed, probe cleared. Reseeding in place is bit-equivalent to
+// constructing a new rand.Rand from the same seed, so a reset gate
+// reproduces a fresh gate's drop sequence exactly.
+func (g *GEGate) Reset(cfg GEConfig, seed int64) {
+	g.cfg = cfg
+	g.rng.Seed(seed)
+	g.sim, g.probe = nil, nil
+	g.bad = false
+	g.Passed, g.Dropped, g.BadEntries = 0, 0, 0
+}
+
 // emitState reports a chain transition (Seq 1 = entered Bad, 0 = back to
 // Good) so online detectors can attribute starvation onsets to loss
 // bursts. Probe-gated and synchronous: the chain steps identically with

@@ -66,6 +66,18 @@ func (r *Reorderer) SetProbe(p obs.Probe) { r.probe = p }
 // a gauge for conservation ledgers.
 func (r *Reorderer) Held() int64 { return r.held }
 
+// Reset returns the element to the state NewReorderer(cfg, rng, s, out)
+// would produce with a generator freshly seeded with seed. Packets still
+// deferred are abandoned (the caller resets the shared simulator first),
+// so the held gauge restarts at zero.
+func (r *Reorderer) Reset(cfg ReorderConfig, seed int64) {
+	r.cfg = cfg
+	r.rng.Seed(seed)
+	r.probe = nil
+	r.held = 0
+	r.Passed, r.Deferred = 0, 0
+}
+
 // Send forwards p immediately or defers it by the configured delay.
 func (r *Reorderer) Send(p packet.Packet) {
 	if r.cfg.P > 0 && r.rng.Float64() < r.cfg.P {

@@ -95,6 +95,29 @@ func NewLink(s *sim.Simulator, rate units.Rate, bufferBytes int, out PacketHandl
 // queue holds at least thresholdBytes.
 func (l *Link) SetECNThreshold(thresholdBytes int) { l.ecn = thresholdBytes }
 
+// Reset returns the link to the state NewLink(s, rate, bufferBytes, out)
+// would produce, keeping the queue registry and per-flow counter capacity
+// and the bound departure callback. The caller must reset the shared
+// simulator first: queued departure events are abandoned wholesale (their
+// handles went stale with the simulator reset), not cancelled one by one.
+// ECN threshold, marker, and probe are cleared; reinstall them after.
+func (l *Link) Reset(rate units.Rate, bufferBytes int) {
+	l.rate = rate
+	l.buf = bufferBytes
+	l.ecn = 0
+	l.marker = nil
+	l.probe = nil
+	l.queuedBytes = 0
+	l.lastDeparture = 0
+	l.pending = l.pending[:0]
+	l.head = 0
+	l.down = false
+	l.Delivered, l.Dropped, l.Marked = 0, 0, 0
+	l.MaxQueue = 0
+	l.EnqueuedPkts, l.EnqueuedBytes, l.RateChanges = 0, 0, 0
+	l.perFlow = l.perFlow[:0]
+}
+
 // SetProbe installs a lifecycle-event probe. A nil probe (the default)
 // disables event emission at the cost of one branch per transition.
 func (l *Link) SetProbe(p obs.Probe) { l.probe = p }

@@ -36,6 +36,15 @@ func (g *LossGate) SetProbe(s *sim.Simulator, p obs.Probe) {
 	g.probe = p
 }
 
+// Reset returns the gate to the state NewLossGate(p, g.Rng, out) would
+// produce: probability replaced, counters zeroed, probe cleared. The
+// caller reseeds g.Rng (exported) to restart the random stream.
+func (g *LossGate) Reset(p float64) {
+	g.P = p
+	g.sim, g.probe = nil, nil
+	g.Passed, g.Dropped = 0, 0
+}
+
 // Send passes or drops p.
 func (g *LossGate) Send(p packet.Packet) {
 	if g.P > 0 && g.Rng.Float64() < g.P {

@@ -33,53 +33,85 @@ var updateGolden = flag.Bool("update", false, "rewrite the golden parity hashes 
 // silently invalidate cached runner artifacts or the figures tree.
 // The scenarios take an optional TelemetryConfig so the telemetry parity
 // test can run the identical realizations with the flight recorder on.
-func goldenScenarios(tc *TelemetryConfig) map[string]func() *Result {
-	return map[string]func() *Result{
-		"clean": func() *Result {
-			n := New(
-				Config{Rate: units.Mbps(48), BufferBytes: 64 * 1500, Seed: 7, Telemetry: tc},
-				FlowSpec{
-					Alg:       vegas.New(vegas.Config{}),
-					Rm:        40 * time.Millisecond,
-					FwdJitter: &jitter.Uniform{Max: 4 * time.Millisecond, Rng: rand.New(rand.NewSource(5))},
-					Ack:       endpoint.AckConfig{DelayCount: 2},
-				},
-				FlowSpec{
-					Alg:       bbr.New(bbr.Config{}),
-					Rm:        80 * time.Millisecond,
-					AckJitter: &jitter.Uniform{Max: 2 * time.Millisecond, Rng: rand.New(rand.NewSource(9))},
-					StartAt:   500 * time.Millisecond,
-				},
-			)
-			return n.Run(5 * time.Second)
-		},
-		"impaired": func() *Result {
-			n := New(
-				Config{Rate: units.Mbps(24), BufferBytes: 48 * 1500, Seed: 11, Telemetry: tc},
-				FlowSpec{
-					Alg:      vegas.New(vegas.Config{}),
-					Rm:       30 * time.Millisecond,
-					LossProb: 0.01,
-				},
-				FlowSpec{
-					Alg: vegas.New(vegas.Config{}),
-					Rm:  60 * time.Millisecond,
-					Ack: endpoint.AckConfig{AggregatePeriod: 5 * time.Millisecond},
-					Faults: &faults.Spec{
-						GE:        &faults.GEConfig{PGoodToBad: 0.005, PBadToGood: 0.3, PDropBad: 0.5},
-						Reorder:   &faults.ReorderConfig{P: 0.02, Delay: 3 * time.Millisecond},
-						Duplicate: &faults.DupConfig{P: 0.01},
+// goldenConfig is one golden scenario's raw material: builders return it
+// fresh on every call (flow specs carry stateful CCA instances and jitter
+// generators, so realizations can never share them), which lets the same
+// scenario run through network.New and through a reused Session.
+type goldenConfig struct {
+	cfg   Config
+	specs []FlowSpec
+	d     time.Duration
+}
+
+func goldenConfigs(tc *TelemetryConfig) map[string]func() goldenConfig {
+	return map[string]func() goldenConfig{
+		"clean": func() goldenConfig {
+			return goldenConfig{
+				cfg: Config{Rate: units.Mbps(48), BufferBytes: 64 * 1500, Seed: 7, Telemetry: tc},
+				specs: []FlowSpec{
+					{
+						Alg:       vegas.New(vegas.Config{}),
+						Rm:        40 * time.Millisecond,
+						FwdJitter: &jitter.Uniform{Max: 4 * time.Millisecond, Rng: rand.New(rand.NewSource(5))},
+						Ack:       endpoint.AckConfig{DelayCount: 2},
+					},
+					{
+						Alg:       bbr.New(bbr.Config{}),
+						Rm:        80 * time.Millisecond,
+						AckJitter: &jitter.Uniform{Max: 2 * time.Millisecond, Rng: rand.New(rand.NewSource(9))},
+						StartAt:   500 * time.Millisecond,
 					},
 				},
-			)
-			return n.Run(5 * time.Second)
+				d: 5 * time.Second,
+			}
+		},
+		"impaired": func() goldenConfig {
+			return goldenConfig{
+				cfg: Config{Rate: units.Mbps(24), BufferBytes: 48 * 1500, Seed: 11, Telemetry: tc},
+				specs: []FlowSpec{
+					{
+						Alg:      vegas.New(vegas.Config{}),
+						Rm:       30 * time.Millisecond,
+						LossProb: 0.01,
+					},
+					{
+						Alg: vegas.New(vegas.Config{}),
+						Rm:  60 * time.Millisecond,
+						Ack: endpoint.AckConfig{AggregatePeriod: 5 * time.Millisecond},
+						Faults: &faults.Spec{
+							GE:        &faults.GEConfig{PGoodToBad: 0.005, PBadToGood: 0.3, PDropBad: 0.5},
+							Reorder:   &faults.ReorderConfig{P: 0.02, Delay: 3 * time.Millisecond},
+							Duplicate: &faults.DupConfig{P: 0.01},
+						},
+					},
+				},
+				d: 5 * time.Second,
+			}
 		},
 	}
+}
+
+func goldenScenarios(tc *TelemetryConfig) map[string]func() *Result {
+	out := map[string]func() *Result{}
+	for name, build := range goldenConfigs(tc) {
+		build := build
+		out[name] = func() *Result {
+			gc := build()
+			return New(gc.cfg, gc.specs...).Run(gc.d)
+		}
+	}
+	return out
 }
 
 // hashResult folds every trace and the result table into one digest.
 func hashResult(t *testing.T, res *Result) string {
 	t.Helper()
+	return hashResultQuiet(res)
+}
+
+// hashResultQuiet is hashResult without the testing.T, callable from
+// worker goroutines (writes to a bytes.Buffer cannot fail).
+func hashResultQuiet(res *Result) string {
 	var buf bytes.Buffer
 	series := []*trace.Series{res.QueueTrace}
 	for i := range res.Flows {
@@ -87,9 +119,7 @@ func hashResult(t *testing.T, res *Result) string {
 		series = append(series, f.RTT, f.Rate, f.Cwnd)
 	}
 	for _, s := range series {
-		if err := s.WriteCSV(&buf); err != nil {
-			t.Fatalf("writing %s: %v", s.Name, err)
-		}
+		_ = s.WriteCSV(&buf)
 	}
 	buf.WriteString(res.String())
 	fmt.Fprintf(&buf, "fired=%d scheduled=%d\n",

@@ -585,5 +585,12 @@ func newDerivedRand(seed int64, flow int) *randSource {
 }
 
 func newDerivedRandSalt(seed int64, flow int, salt int64) *randSource {
-	return newRandSource(seed*1000003 + int64(flow)*7919 + salt)
+	return newRandSource(derivedSeed(seed, flow, salt))
+}
+
+// derivedSeed is the seed of a flow element's private random stream. A
+// session reset reseeds the element's existing generator with this value,
+// which is bit-equivalent to the fresh construction above.
+func derivedSeed(seed int64, flow int, salt int64) int64 {
+	return seed*1000003 + int64(flow)*7919 + salt
 }

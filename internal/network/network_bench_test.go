@@ -45,6 +45,40 @@ func BenchmarkEmulatedSecondTelemetry(b *testing.B) {
 	}
 }
 
+// BenchmarkSweepThroughput measures the sweep hot path: the
+// BenchmarkEmulatedSecond workload (two Vegas flows, 100 Mbit/s, one
+// emulated second) run back-to-back through one recycled Session with
+// seeds cycling over a 100-seed sweep, exactly as the sweep drivers do.
+// allocs/op is the per-run allocation cost with arena recycling on —
+// compare BenchmarkEmulatedSecond, which pays full network construction
+// every run. The flowsec/sec metric is emulated flow-seconds per wall
+// second (per core: the loop is single-threaded).
+func BenchmarkSweepThroughput(b *testing.B) {
+	s := NewSession()
+	run := func(seed int64) *Result {
+		res, err := s.Run(
+			Config{Rate: units.Mbps(100), Seed: seed},
+			time.Second,
+			FlowSpec{Alg: vegas.New(vegas.Config{}), Rm: 50 * time.Millisecond},
+			FlowSpec{Alg: vegas.New(vegas.Config{}), Rm: 50 * time.Millisecond},
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res
+	}
+	// Warm pass: build the cached network once so the timed loop measures
+	// recycled runs, which is what every sweep iteration after the first is.
+	run(1)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		run(int64(1 + i%100))
+	}
+	b.StopTimer()
+	b.ReportMetric(2*float64(b.N)/b.Elapsed().Seconds(), "flowsec/sec")
+}
+
 // BenchmarkPacketRate measures raw packet-forwarding throughput of the
 // assembled path (sender → queue → propagation → jitter → receiver → ack).
 func BenchmarkPacketRate(b *testing.B) {

@@ -160,6 +160,14 @@ func (r *Registry) Emit(e Event) {
 	}
 }
 
+// Reset zeroes every counter while keeping the per-flow slice capacity, so
+// a registry recycled across runs (session reuse) is indistinguishable
+// from a fresh one without reallocating. Single-writer, like Emit.
+func (r *Registry) Reset() {
+	r.snap.Global = Counters{}
+	r.snap.Flows = r.snap.Flows[:0]
+}
+
 // Snapshot returns a deep copy of the current counters.
 func (r *Registry) Snapshot() Snapshot {
 	out := r.snap

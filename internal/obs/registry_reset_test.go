@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// feedRegistry replays a fixed event mix covering every counter path.
+func feedRegistry(r *Registry) {
+	events := []Event{
+		{Type: EvEnqueue, Flow: 0, Bytes: 1500, Queue: 3000},
+		{Type: EvEnqueue, Flow: 1, Bytes: 1500, Queue: 4500, Retx: true},
+		{Type: EvDrop, Flow: 1, Bytes: 1500, Queue: -1},
+		{Type: EvMark, Flow: 0},
+		{Type: EvDequeue, Flow: 0},
+		{Type: EvDup, Flow: 1},
+		{Type: EvReorder, Flow: 0},
+		{Type: EvDeliver, Flow: 0, Bytes: 1500, At: 5 * time.Millisecond},
+		{Type: EvAckRecv, Flow: 0, Bytes: 1500},
+		{Type: EvCwndUpdate, Flow: 1},
+		{Type: EvRateSample, Flow: 0},
+		{Type: EvLinkRate, Flow: -1},
+	}
+	for _, e := range events {
+		r.Emit(e)
+	}
+}
+
+// TestRegistryResetIndistinguishableFromFresh pins satellite 1's contract
+// for the registry: after Reset, refeeding the same event stream yields a
+// snapshot deep-equal to a fresh registry's — including the per-flow slice
+// length, which must not retain ghost flows from the previous run.
+func TestRegistryResetIndistinguishableFromFresh(t *testing.T) {
+	fresh := NewRegistry()
+	feedRegistry(fresh)
+	want := fresh.Snapshot()
+
+	reused := NewRegistry()
+	feedRegistry(reused)
+	// Dirty it further: a third flow the next run does not have.
+	reused.Emit(Event{Type: EvDeliver, Flow: 7, Bytes: 1500})
+	reused.Reset()
+	if snap := reused.Snapshot(); len(snap.Flows) != 0 || snap.Global != (Counters{}) {
+		t.Fatalf("reset registry not empty: %+v", snap)
+	}
+	feedRegistry(reused)
+	if got := reused.Snapshot(); !reflect.DeepEqual(got, want) {
+		t.Errorf("reset registry diverged from fresh:\n got %+v\nwant %+v", got, want)
+	}
+}

@@ -39,7 +39,7 @@ func Algo1Ablation(o Opts) *Result {
 				PerAck:     perAck,
 			})
 		}
-		n := network.New(
+		res := o.emulate(
 			network.Config{Rate: units.Mbps(100), Seed: o.Seed, Probe: o.Probe, Guard: o.Guard, Ctx: o.Ctx, Telemetry: o.Telemetry},
 			network.FlowSpec{
 				Name: "jittered", Alg: mk(), Rm: rm,
@@ -47,7 +47,7 @@ func Algo1Ablation(o Opts) *Result {
 			},
 			network.FlowSpec{Name: "clean", Alg: mk(), Rm: rm},
 		)
-		return n.Run(o.Duration)
+		return res
 	}
 	aimd := run(false, false)
 	aiad := run(true, false)

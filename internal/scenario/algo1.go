@@ -32,7 +32,7 @@ func Algo1Fairness(o Opts) *Result {
 			A:          units.Mbps(1),
 		})
 	}
-	n := network.New(
+	res := o.emulate(
 		network.Config{Rate: units.Mbps(100), Seed: o.Seed, Probe: o.Probe, Guard: o.Guard, Ctx: o.Ctx, Telemetry: o.Telemetry},
 		network.FlowSpec{
 			Name:      "jittered",
@@ -46,7 +46,6 @@ func Algo1Fairness(o Opts) *Result {
 			Rm:   rm,
 		},
 	)
-	res := n.Run(o.Duration)
 	return &Result{
 		ID:          "X-A1",
 		Description: "Algorithm 1 two flows, 100 Mbit/s, adversarial jitter ≤ D=10ms on one",
@@ -84,7 +83,7 @@ func VegasUnderJitter(o Opts) *Result {
 			return d
 		},
 	}
-	n := network.New(
+	res := o.emulate(
 		network.Config{Rate: units.Mbps(100), Seed: o.Seed, Probe: o.Probe, Guard: o.Guard, Ctx: o.Ctx, Telemetry: o.Telemetry},
 		network.FlowSpec{
 			Name:      "jittered",
@@ -98,7 +97,6 @@ func VegasUnderJitter(o Opts) *Result {
 			Rm:   rm,
 		},
 	)
-	res := n.Run(o.Duration)
 	return &Result{
 		ID:          "X-A1v",
 		Description: "Vegas two flows in the X-A1 setting (persistent 10ms jitter on one)",
@@ -116,13 +114,12 @@ func VegasUnderJitter(o Opts) *Result {
 // by the quickstart example: on a clean path, two Vegas flows share fairly.
 func QuickstartVegas(o Opts) *Result {
 	o.fill(60 * time.Second)
-	n := network.New(
+	res := o.emulate(
 		network.Config{Rate: units.Mbps(48), Seed: o.Seed, Probe: o.Probe, Guard: o.Guard, Ctx: o.Ctx, Telemetry: o.Telemetry},
 		network.FlowSpec{Name: "flow0", Alg: vegas.New(vegas.Config{}), Rm: 80 * time.Millisecond},
 		network.FlowSpec{Name: "flow1", Alg: vegas.New(vegas.Config{}), Rm: 80 * time.Millisecond,
 			StartAt: 5 * time.Second},
 	)
-	res := n.Run(o.Duration)
 	return &Result{
 		ID:          "quickstart",
 		Description: "Two Vegas flows, 48 Mbit/s, Rm=80ms, clean path, staggered start",

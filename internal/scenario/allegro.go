@@ -35,12 +35,11 @@ func allegroFlow(name string, seed int64, loss float64) network.FlowSpec {
 // be resilient to up to 5% loss".
 func AllegroRandomLoss(o Opts) *Result {
 	o.fill(60 * time.Second)
-	n := network.New(
+	res := o.emulate(
 		network.Config{Rate: units.Mbps(allegroRate), BufferBytes: allegroBDP(), Seed: o.Seed, Probe: o.Probe, Guard: o.Guard, Ctx: o.Ctx, Telemetry: o.Telemetry},
 		allegroFlow("lossy", o.Seed*13+1, 0.02),
 		allegroFlow("clean", o.Seed*13+2, 0),
 	)
-	res := n.Run(o.Duration)
 	return &Result{
 		ID:          "T5.4a",
 		Description: "Allegro two flows, 120 Mbit/s, Rm=40ms, 1 BDP buffer, 2% loss on one",
@@ -68,12 +67,11 @@ func AllegroBurstLoss(o Opts) *Result {
 	ge := faults.GEConfig{PGoodToBad: 0.008, PBadToGood: 0.2, PDropBad: 0.5}
 	bursty := allegroFlow("bursty", o.Seed*13+1, 0)
 	bursty.Faults = &faults.Spec{GE: &ge}
-	n := network.New(
+	res := o.emulate(
 		network.Config{Rate: units.Mbps(allegroRate), BufferBytes: allegroBDP(), Seed: o.Seed, Probe: o.Probe, Guard: o.Guard, Ctx: o.Ctx, Telemetry: o.Telemetry},
 		bursty,
 		allegroFlow("clean", o.Seed*13+2, 0),
 	)
-	res := n.Run(o.Duration)
 	fc := res.Flows[0].Faults
 	var lossRate float64
 	if total := fc.GEPassed + fc.GEDropped; total > 0 {
@@ -99,12 +97,11 @@ func AllegroBurstLoss(o Opts) *Result {
 // shared the link fairly and efficiently".
 func AllegroBothLossy(o Opts) *Result {
 	o.fill(60 * time.Second)
-	n := network.New(
+	res := o.emulate(
 		network.Config{Rate: units.Mbps(allegroRate), BufferBytes: allegroBDP(), Seed: o.Seed, Probe: o.Probe, Guard: o.Guard, Ctx: o.Ctx, Telemetry: o.Telemetry},
 		allegroFlow("lossy0", o.Seed*13+1, 0.02),
 		allegroFlow("lossy1", o.Seed*13+2, 0.02),
 	)
-	res := n.Run(o.Duration)
 	return &Result{
 		ID:          "T5.4b",
 		Description: "Allegro two flows, both at 2% random loss (control)",
@@ -124,11 +121,10 @@ func AllegroBothLossy(o Opts) *Result {
 // "was able to fully utilize the link capacity".
 func AllegroSingleLossy(o Opts) *Result {
 	o.fill(60 * time.Second)
-	n := network.New(
+	res := o.emulate(
 		network.Config{Rate: units.Mbps(allegroRate), BufferBytes: allegroBDP(), Seed: o.Seed, Probe: o.Probe, Guard: o.Guard, Ctx: o.Ctx, Telemetry: o.Telemetry},
 		allegroFlow("lossy", o.Seed*13+1, 0.02),
 	)
-	res := n.Run(o.Duration)
 	return &Result{
 		ID:          "T5.4c",
 		Description: "Allegro single flow with 2% random loss (control)",

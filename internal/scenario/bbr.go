@@ -28,12 +28,11 @@ func BBRTwoFlowRTT(o Opts) *Result {
 			FwdJitter: &jitter.Uniform{Max: 2 * time.Millisecond, Rng: rand.New(rand.NewSource(seed + 1000))},
 		}
 	}
-	n := network.New(
+	res := o.emulate(
 		network.Config{Rate: units.Mbps(120), Seed: o.Seed, Probe: o.Probe, Guard: o.Guard, Ctx: o.Ctx, Telemetry: o.Telemetry},
 		mk("rtt40", 40*time.Millisecond, o.Seed*7+1),
 		mk("rtt80", 80*time.Millisecond, o.Seed*7+2),
 	)
-	res := n.Run(o.Duration)
 	f0, f1 := res.Flows[0].Stat.SteadyThpt.Mbit(), res.Flows[1].Stat.SteadyThpt.Mbit()
 	return &Result{
 		ID:          "T5.2",

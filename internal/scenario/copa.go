@@ -44,11 +44,10 @@ func copaPoisonFlow(name string, poisoned bool) network.FlowSpec {
 // packet costing ~93% of the link.
 func CopaSingleFlowPoison(o Opts) *Result {
 	o.fill(60 * time.Second)
-	n := network.New(
+	res := o.emulate(
 		network.Config{Rate: units.Mbps(120), Seed: o.Seed, Probe: o.Probe, Guard: o.Guard, Ctx: o.Ctx, Telemetry: o.Telemetry},
 		copaPoisonFlow("copa", true),
 	)
-	res := n.Run(o.Duration)
 	return &Result{
 		ID:          "T5.1a",
 		Description: "Copa single flow, 120 Mbit/s, Rm=60ms, one 59ms-RTT packet",
@@ -65,12 +64,11 @@ func CopaSingleFlowPoison(o Opts) *Result {
 // the 59 ms packet. The paper measured 8.8 vs 95 Mbit/s.
 func CopaTwoFlowPoison(o Opts) *Result {
 	o.fill(60 * time.Second)
-	n := network.New(
+	res := o.emulate(
 		network.Config{Rate: units.Mbps(120), Seed: o.Seed, Probe: o.Probe, Guard: o.Guard, Ctx: o.Ctx, Telemetry: o.Telemetry},
 		copaPoisonFlow("poisoned", true),
 		copaPoisonFlow("clean", false),
 	)
-	res := n.Run(o.Duration)
 	return &Result{
 		ID:          "T5.1b",
 		Description: "Copa two flows, 120 Mbit/s, Rm=60ms, 59ms dip on one flow",

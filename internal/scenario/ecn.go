@@ -26,7 +26,7 @@ func ECNAvoidsStarvation(o Opts) *Result {
 		mk := func() *reno.Reno {
 			return reno.New(reno.Config{ReactToECN: ecn, LossBlind: ecn})
 		}
-		n := network.New(
+		res := o.emulate(
 			network.Config{
 				Rate:        units.Mbps(48),
 				BufferBytes: 400 * 1500,
@@ -48,7 +48,7 @@ func ECNAvoidsStarvation(o Opts) *Result {
 				Name: "clean", Alg: mk(), Rm: 40 * time.Millisecond,
 			},
 		)
-		return n.Run(o.Duration)
+		return res
 	}
 	withECN := run(true)
 	lossBased := run(false)

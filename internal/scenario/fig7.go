@@ -20,7 +20,7 @@ import (
 // equilibrium lives in loss frequency, not in an absolute delay.
 func fig7(o Opts, id, name string, mk func() cca.Algorithm, claim string) *Result {
 	o.fill(200 * time.Second)
-	n := network.New(
+	res := o.emulate(
 		network.Config{
 			Rate:        units.Mbps(6),
 			BufferBytes: 60 * endpoint.DefaultMSS,
@@ -42,7 +42,6 @@ func fig7(o Opts, id, name string, mk func() cca.Algorithm, claim string) *Resul
 			Rm:   120 * time.Millisecond,
 		},
 	)
-	res := n.Run(o.Duration)
 	return &Result{
 		ID:          id,
 		Description: name + " two flows, 6 Mbit/s, Rm=120ms, 60-pkt buffer, delayed ACKs ×4 on one",

@@ -64,6 +64,7 @@ func runPopulationParams(p popParams, o Opts) *Result {
 		Probe:      o.Probe,
 		Ctx:        o.Ctx,
 		Telemetry:  o.Telemetry,
+		Session:    o.Session,
 	}
 	if topo.Links == nil {
 		cfg.Rate = units.Mbps(p.rateMbps)

@@ -89,6 +89,14 @@ type Opts struct {
 	// in Net.Telemetry. Observation-only like Probe: realizations are
 	// bit-identical with the recorder on or off.
 	Telemetry *network.TelemetryConfig
+	// Session, when non-nil, runs the scenario's emulations through a
+	// reusable run context that recycles event arenas, endpoint state,
+	// and trace buffers across runs instead of reallocating them — the
+	// sweep hot path. Realizations are bit-identical with or without a
+	// session (the fresh-vs-reused golden parity test pins this).
+	// Sessions are single-owner like the simulator: never share one
+	// across goroutines (SeedSweep gives each worker its own).
+	Session *network.Session
 }
 
 func (o *Opts) fill(defaultDur time.Duration) {
@@ -98,6 +106,21 @@ func (o *Opts) fill(defaultDur time.Duration) {
 	if o.Duration <= 0 {
 		o.Duration = defaultDur
 	}
+}
+
+// emulate runs one network for o.Duration — through o.Session when set
+// (recycling its arenas), through a throwaway network otherwise. Scenario
+// configurations are compile-time constants, so a validation failure is a
+// programming error and panics exactly like network.New would.
+func (o Opts) emulate(cfg network.Config, specs ...network.FlowSpec) *network.Result {
+	if o.Session != nil {
+		res, err := o.Session.Run(cfg, o.Duration, specs...)
+		if err != nil {
+			panic(err.Error())
+		}
+		return res
+	}
+	return network.New(cfg, specs...).Run(o.Duration)
 }
 
 // Registry lists all scenarios by ID for the CLI.

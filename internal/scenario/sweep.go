@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"starvation/internal/network"
 	"starvation/internal/runner"
 )
 
@@ -15,11 +16,15 @@ import (
 //
 // base supplies everything but the seed (and, per worker, the context).
 // base.Probe is shared across runs: leave it nil when jobs > 1, since
-// event-stream writers are not safe for interleaved runs.
+// event-stream writers are not safe for interleaved runs. The same goes
+// for base.Session (sessions are single-owner); when it is nil the sweep
+// gives every worker its own recycled session automatically, so each
+// worker builds its networks once and resets them per seed — the results
+// are bit-identical to fresh-network runs at any jobs value.
 //
 // jobs is the worker count: 0 selects GOMAXPROCS, 1 runs the seeds
 // strictly sequentially. The returned error is non-nil only for an
-// unknown scenario, a shared probe, or a cancelled context.
+// unknown scenario, a shared probe or session, or a cancelled context.
 func SeedSweep(ctx context.Context, name string, seeds []int64, jobs int, base Opts) ([]*Result, error) {
 	fn, ok := Registry[name]
 	if !ok {
@@ -28,11 +33,22 @@ func SeedSweep(ctx context.Context, name string, seeds []int64, jobs int, base O
 	if base.Probe != nil && jobs > 1 {
 		return nil, fmt.Errorf("scenario: SeedSweep with jobs > 1 cannot share a probe")
 	}
+	if base.Session != nil && jobs > 1 {
+		return nil, fmt.Errorf("scenario: SeedSweep with jobs > 1 cannot share a session")
+	}
 	results := make([]*Result, len(seeds))
-	err := runner.ForEach(ctx, jobs, len(seeds), func(ctx context.Context, i int) error {
+	sessions := make([]*network.Session, runner.Workers(jobs, len(seeds)))
+	sessions[0] = base.Session
+	err := runner.ForEachWorker(ctx, jobs, len(seeds), func(ctx context.Context, w, i int) error {
+		if sessions[w] == nil {
+			// Lazily built: each worker id is served by exactly one
+			// goroutine, so the slot is worker-private.
+			sessions[w] = network.NewSession()
+		}
 		o := base
 		o.Seed = seeds[i]
 		o.Ctx = ctx
+		o.Session = sessions[w]
 		results[i] = fn(o)
 		return ctx.Err()
 	})

@@ -27,12 +27,11 @@ func VivaceAckAggregation(o Opts) *Result {
 		}
 		return spec
 	}
-	n := network.New(
+	res := o.emulate(
 		network.Config{Rate: units.Mbps(120), Seed: o.Seed, Probe: o.Probe, Guard: o.Guard, Ctx: o.Ctx, Telemetry: o.Telemetry},
 		mk("quantized", o.Seed*11+1, true),
 		mk("clean", o.Seed*11+2, false),
 	)
-	res := n.Run(o.Duration)
 	return &Result{
 		ID:          "T5.3",
 		Description: "Vivace two flows, 120 Mbit/s, Rm=60ms, one flow's ACKs at 60ms multiples",

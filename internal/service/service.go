@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"starvation/internal/core"
+	"starvation/internal/network"
 	"starvation/internal/obs"
 	"starvation/internal/runner"
 	"starvation/internal/runner/chaos"
@@ -60,6 +61,12 @@ type Server struct {
 	cfg   Config
 	pool  *runner.Pool
 	sched *Scheduler
+	// sessions hands each executing job a recycled network run context:
+	// a worker borrows one session per attempt, so the daemon's steady
+	// state rebuilds each distinct topology once per concurrent worker
+	// rather than once per job. Realizations (and thus artifacts and the
+	// cache's server-vs-CLI byte parity) are bit-identical either way.
+	sessions *network.SessionPool
 
 	fams      *obs.FamilySet
 	mJobs     *obs.Family // counter: jobs completed per client
@@ -106,6 +113,7 @@ func New(cfg Config) (*Server, error) {
 			Retry:       cfg.Retry,
 		},
 		sched:     NewScheduler(cfg.QueueDepth),
+		sessions:  network.NewSessionPool(),
 		fams:      fams,
 		mJobs:     fams.Counter("starved_jobs_total", "Jobs completed per client (includes cache restores and failures).", "client"),
 		mBatches:  fams.Counter("starved_batches_total", "Batches admitted per client.", "client"),
@@ -308,6 +316,11 @@ func (s *Server) execute(b *batch, idx int) {
 				return nil, err
 			}
 			cfg.Ctx = ctx
+			// Borrow a recycled run context for the attempt. A session is
+			// safe to return even after a failed or cancelled run — the
+			// next run resets everything it touched.
+			cfg.Session = s.sessions.Get()
+			defer s.sessions.Put(cfg.Session)
 			pr, err := core.RunPopulation(cfg)
 			if err != nil {
 				return nil, err

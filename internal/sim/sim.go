@@ -270,3 +270,38 @@ func (s *Simulator) Step() bool {
 // simulator maintains the count across schedule, cancel, and dispatch, so
 // elements may poll it in hot paths.
 func (s *Simulator) Pending() int { return s.live }
+
+// Reset returns the simulator to the state New(seed) would produce while
+// keeping the arena and heap capacity, so a reused simulator schedules
+// allocation-free up to the previous run's high-water mark.
+//
+// Every arena record's generation is bumped, which invalidates every
+// outstanding Handle: a stale Cancel or Pending after Reset is a safe
+// no-op, exactly as if the event had fired. (Truncating the arena instead
+// would restart generations and let a pre-reset handle collide with a
+// fresh event in the same slot.) The free list is rebuilt in ascending
+// slot order so a reset simulator assigns slots in the same order a fresh
+// one does.
+func (s *Simulator) Reset(seed int64) {
+	for i := range s.arena {
+		rec := &s.arena[i]
+		rec.gen++
+		rec.fn, rec.pfn, rec.afn = nil, nil, nil
+		rec.heapIdx = noSlot
+		rec.nextFree = int32(i + 1)
+	}
+	if n := len(s.arena); n > 0 {
+		s.arena[n-1].nextFree = noSlot
+		s.freeHead = 0
+	} else {
+		s.freeHead = noSlot
+	}
+	s.heap = s.heap[:0]
+	s.now = 0
+	s.seq, s.fired, s.cancelled = 0, 0, 0
+	s.live = 0
+	s.rng.Seed(seed)
+	s.halted = false
+	s.wdEvery, s.wdFn = 0, nil
+	s.ctx = nil
+}

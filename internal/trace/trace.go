@@ -28,6 +28,24 @@ func (s *Series) Add(t time.Duration, v float64) {
 	s.Points = append(s.Points, Point{t, v})
 }
 
+// Reset discards all samples while keeping the buffer capacity, so a
+// reused series records the next run without reallocating. The name is
+// kept; callers renaming a recycled series assign Name directly.
+func (s *Series) Reset() {
+	s.Points = s.Points[:0]
+}
+
+// Clone returns an independent copy of the series. Run contexts that
+// recycle their trace buffers (network.Session) clone each series into the
+// returned Result so a later run cannot clobber an earlier result's data.
+func (s *Series) Clone() *Series {
+	out := &Series{Name: s.Name}
+	if len(s.Points) > 0 {
+		out.Points = append(make([]Point, 0, len(s.Points)), s.Points...)
+	}
+	return out
+}
+
 // Reserve grows the sample buffer to hold at least n points, so a caller
 // that knows its sample count up front (horizon / sampling interval) pays
 // one allocation instead of log₂(n) append regrowths.
